@@ -1,0 +1,67 @@
+"""Figure 10: data-processing throughput of the five accelerated systems."""
+
+from repro.eval import (
+    fig10a_homogeneous_throughput,
+    fig10b_heterogeneous_throughput,
+    format_comparison,
+    geometric_mean,
+)
+from repro.workloads import COMPUTE_INTENSIVE, DATA_INTENSIVE, MIX_ORDER
+
+from conftest import (
+    BENCH_HOMOGENEOUS_INSTANCES,
+    BENCH_INPUT_SCALE,
+    BENCH_MIX_INSTANCES,
+    run_once,
+)
+
+
+def test_fig10a_homogeneous_throughput(benchmark):
+    """Fig. 10a: throughput for the 14 homogeneous PolyBench workloads."""
+    data = run_once(benchmark, fig10a_homogeneous_throughput,
+                    instances=BENCH_HOMOGENEOUS_INSTANCES,
+                    input_scale=BENCH_INPUT_SCALE)
+    print("\n" + format_comparison("Fig. 10a: homogeneous throughput", data,
+                                   metric_name="MB/s"))
+    # FlashAbacus beats SIMD on every data-intensive workload (paper: +144%).
+    for name in DATA_INTENSIVE:
+        assert data[name]["IntraO3"] > data[name]["SIMD"]
+        assert data[name]["InterDy"] > data[name]["SIMD"]
+    # InterDy is the best policy for homogeneous workloads (paper, Sec 5.1);
+    # allow IntraO3 to tie within a few percent.
+    wins = sum(1 for name in data
+               if data[name]["InterDy"] >= 0.95 * max(
+                   data[name][s] for s in ("InterSt", "IntraIo", "IntraO3")))
+    assert wins >= len(data) * 0.7
+    # InterSt is the weakest FlashAbacus policy on average.
+    interst_ratio = geometric_mean(
+        [data[name]["InterSt"] / data[name]["InterDy"] for name in data])
+    assert interst_ratio < 0.6
+    # IntraO3 beats IntraIo (paper: +62% on average).
+    intra_ratio = geometric_mean(
+        [data[name]["IntraO3"] / data[name]["IntraIo"] for name in data])
+    assert intra_ratio > 1.2
+    # Data-intensive workloads process far more MB/s than compute-intensive.
+    assert geometric_mean([data[n]["IntraO3"] for n in DATA_INTENSIVE]) \
+        > 5 * geometric_mean([data[n]["IntraO3"] for n in COMPUTE_INTENSIVE])
+
+
+def test_fig10b_heterogeneous_throughput(benchmark):
+    """Fig. 10b: throughput for the 14 heterogeneous mixes."""
+    data = run_once(benchmark, fig10b_heterogeneous_throughput,
+                    mixes=tuple(MIX_ORDER),
+                    instances_per_kernel=BENCH_MIX_INSTANCES,
+                    input_scale=BENCH_INPUT_SCALE)
+    print("\n" + format_comparison("Fig. 10b: heterogeneous throughput", data,
+                                   metric_name="MB/s"))
+    # IntraO3 is the best (or tied-best) policy for mixes (paper: +15% over
+    # InterDy on average) and always beats SIMD.
+    o3_vs_dy = geometric_mean(
+        [data[mix]["IntraO3"] / data[mix]["InterDy"] for mix in data])
+    assert o3_vs_dy > 1.0
+    for mix in data:
+        assert data[mix]["IntraO3"] > data[mix]["SIMD"]
+    # InterDy is much better than InterSt for mixes (paper: +177%).
+    dy_vs_st = geometric_mean(
+        [data[mix]["InterDy"] / data[mix]["InterSt"] for mix in data])
+    assert dy_vs_st > 1.3

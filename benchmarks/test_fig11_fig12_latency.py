@@ -1,0 +1,75 @@
+"""Figures 11 and 12: latency statistics and completion-time CDFs."""
+
+from repro.eval import fig11_latency, fig12_completion_cdf, format_table
+
+from conftest import BENCH_INPUT_SCALE, run_once
+
+HOMOGENEOUS_SUBSET = ("ATAX", "BICG", "MVT", "SYRK", "3MM", "GEMM")
+HETEROGENEOUS_SUBSET = ("MX1", "MX5", "MX10")
+
+
+def _print_latency(title, data):
+    rows = []
+    for workload, per_system in data.items():
+        for system, stats in per_system.items():
+            rows.append((workload, system, stats["min"], stats["mean"],
+                         stats["max"]))
+    print("\n" + title)
+    print(format_table(["workload", "system", "min", "avg", "max"], rows))
+
+
+def test_fig11a_homogeneous_latency(benchmark):
+    """Fig. 11a: kernel latency (normalized to SIMD) — homogeneous."""
+    data = run_once(benchmark, fig11_latency, workloads=HOMOGENEOUS_SUBSET,
+                    heterogeneous=False, input_scale=BENCH_INPUT_SCALE)
+    _print_latency("Fig. 11a: latency normalized to SIMD (homogeneous)", data)
+    for workload, per_system in data.items():
+        assert per_system["SIMD"]["mean"] == 1.0
+        # Intra-kernel schedulers achieve the shortest minimum latency
+        # because a single kernel spans several LWPs.
+        assert per_system["IntraO3"]["min"] <= per_system["InterDy"]["min"]
+    # FlashAbacus average latency beats SIMD for the data-intensive kernels.
+    for workload in ("ATAX", "BICG", "MVT"):
+        assert data[workload]["InterDy"]["mean"] < 1.0
+        assert data[workload]["IntraO3"]["mean"] < 1.0
+
+
+def test_fig11b_heterogeneous_latency(benchmark):
+    """Fig. 11b: kernel latency (normalized to SIMD) — heterogeneous."""
+    data = run_once(benchmark, fig11_latency, workloads=HETEROGENEOUS_SUBSET,
+                    heterogeneous=True, input_scale=BENCH_INPUT_SCALE)
+    _print_latency("Fig. 11b: latency normalized to SIMD (heterogeneous)",
+                   data)
+    for workload, per_system in data.items():
+        # IntraO3 improves average and maximum latency over InterDy (paper:
+        # 10% / 19%); accept any non-regression.
+        assert per_system["IntraO3"]["mean"] <= per_system["InterDy"]["mean"] * 1.05
+        # InterSt has the longest average latency among FlashAbacus policies.
+        flashabacus = {s: per_system[s]["mean"]
+                       for s in ("InterSt", "IntraIo", "InterDy", "IntraO3")}
+        assert max(flashabacus, key=flashabacus.get) in ("InterSt", "IntraIo")
+
+
+def test_fig12_completion_cdfs(benchmark):
+    """Fig. 12: CDF of kernel completion times for ATAX and MX1."""
+    def both():
+        return (fig12_completion_cdf("ATAX", heterogeneous=False,
+                                     input_scale=BENCH_INPUT_SCALE),
+                fig12_completion_cdf("MX1", heterogeneous=True,
+                                     input_scale=BENCH_INPUT_SCALE))
+
+    atax, mx1 = run_once(benchmark, both)
+    for title, data in (("Fig. 12a: ATAX", atax), ("Fig. 12b: MX1", mx1)):
+        rows = []
+        for system, series in data.items():
+            rows.append((system, len(series), series[0][0], series[-1][0]))
+        print("\n" + title + " completion CDF (first/last completion, s)")
+        print(format_table(["system", "kernels", "first", "last"], rows,
+                           float_format="{:.3f}"))
+    # Every system completes every kernel.
+    assert all(series[-1][1] == 6 for series in atax.values())
+    # Intra-kernel scheduling finishes its first ATAX kernel before InterDy
+    # does (paper: InterDy takes longer on the first kernel).
+    assert atax["IntraO3"][0][0] <= atax["InterDy"][0][0]
+    # For MX1 the last SIMD completion is the slowest of all systems.
+    assert mx1["SIMD"][-1][0] == max(series[-1][0] for series in mx1.values())

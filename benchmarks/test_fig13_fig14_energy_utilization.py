@@ -1,0 +1,91 @@
+"""Figures 13 and 14: energy decomposition and processor utilization."""
+
+from repro.eval import fig13_energy_breakdown, fig14_utilization, format_table
+
+from conftest import BENCH_INPUT_SCALE, run_once
+
+HOMOGENEOUS_SUBSET = ("ATAX", "BICG", "MVT", "GESUM", "SYRK", "3MM", "GEMM")
+HETEROGENEOUS_SUBSET = ("MX1", "MX7", "MX14")
+
+
+def _print_energy(title, data):
+    rows = []
+    for workload, per_system in data.items():
+        for system, parts in per_system.items():
+            rows.append((workload, system, parts["data_movement"],
+                         parts["computation"], parts["storage_access"],
+                         parts["total"]))
+    print("\n" + title)
+    print(format_table(
+        ["workload", "system", "data move", "compute", "storage", "total"],
+        rows))
+
+
+def test_fig13a_energy_homogeneous(benchmark):
+    """Fig. 13a: energy decomposition, homogeneous (normalized to SIMD)."""
+    data = run_once(benchmark, fig13_energy_breakdown,
+                    workloads=HOMOGENEOUS_SUBSET, heterogeneous=False,
+                    input_scale=BENCH_INPUT_SCALE)
+    _print_energy("Fig. 13a: energy breakdown normalized to SIMD", data)
+    for workload, per_system in data.items():
+        assert per_system["SIMD"]["total"] == 1.0
+        # Every FlashAbacus policy saves energy on data-intensive kernels.
+        if workload in ("ATAX", "BICG", "MVT", "GESUM"):
+            for system in ("InterSt", "IntraIo", "InterDy", "IntraO3"):
+                assert per_system[system]["total"] < 1.0
+        # FlashAbacus has (almost) no host data-movement energy.
+        assert per_system["IntraO3"]["data_movement"] < 0.05
+    # Overall saving of IntraO3 vs SIMD (paper: 78.4% across all workloads).
+    savings = [1.0 - data[w]["IntraO3"]["total"] for w in data]
+    assert sum(savings) / len(savings) > 0.4
+
+
+def test_fig13b_energy_heterogeneous(benchmark):
+    """Fig. 13b: energy decomposition, heterogeneous mixes."""
+    data = run_once(benchmark, fig13_energy_breakdown,
+                    workloads=HETEROGENEOUS_SUBSET, heterogeneous=True,
+                    input_scale=BENCH_INPUT_SCALE)
+    _print_energy("Fig. 13b: energy breakdown normalized to SIMD (mixes)",
+                  data)
+    for workload, per_system in data.items():
+        assert per_system["IntraO3"]["total"] < 1.0
+        # SIMD's energy is dominated by data movement + storage access.
+        simd = per_system["SIMD"]
+        assert simd["data_movement"] + simd["storage_access"] > 0.5
+
+
+def test_fig14a_utilization_homogeneous(benchmark):
+    """Fig. 14a: LWP utilization, homogeneous workloads."""
+    data = run_once(benchmark, fig14_utilization,
+                    workloads=HOMOGENEOUS_SUBSET, heterogeneous=False,
+                    input_scale=BENCH_INPUT_SCALE)
+    rows = [(w, *[per[s] for s in ("SIMD", "InterSt", "IntraIo", "InterDy",
+                                   "IntraO3")])
+            for w, per in data.items()]
+    print("\nFig. 14a: LWP utilization (%), homogeneous")
+    print(format_table(["workload", "SIMD", "InterSt", "IntraIo", "InterDy",
+                        "IntraO3"], rows))
+    for workload, per_system in data.items():
+        # InterDy keeps workers the busiest for homogeneous runs (paper: 98%).
+        flashabacus = {s: per_system[s]
+                       for s in ("InterSt", "IntraIo", "InterDy", "IntraO3")}
+        assert max(flashabacus, key=flashabacus.get) == "InterDy"
+    # Data-intensive workloads stall SIMD on storage accesses.
+    assert data["ATAX"]["SIMD"] < data["ATAX"]["InterDy"]
+
+
+def test_fig14b_utilization_heterogeneous(benchmark):
+    """Fig. 14b: LWP utilization, heterogeneous mixes."""
+    data = run_once(benchmark, fig14_utilization,
+                    workloads=HETEROGENEOUS_SUBSET, heterogeneous=True,
+                    input_scale=BENCH_INPUT_SCALE)
+    rows = [(w, *[per[s] for s in ("SIMD", "InterSt", "IntraIo", "InterDy",
+                                   "IntraO3")])
+            for w, per in data.items()]
+    print("\nFig. 14b: LWP utilization (%), heterogeneous")
+    print(format_table(["mix", "SIMD", "InterSt", "IntraIo", "InterDy",
+                        "IntraO3"], rows))
+    for mix, per_system in data.items():
+        # IntraO3 reaches high utilization and beats InterSt and SIMD.
+        assert per_system["IntraO3"] > per_system["InterSt"]
+        assert per_system["IntraO3"] > per_system["SIMD"]

@@ -1,0 +1,84 @@
+"""Figure 3: motivation — serial-fraction sensitivity and baseline breakdowns."""
+
+from repro.eval import (
+    baseline_breakdown,
+    format_table,
+    serial_fraction_sweep,
+)
+from repro.workloads import MOTIVATION_ORDER
+
+from conftest import run_once
+
+
+def test_fig3b_throughput_vs_serial_fraction(benchmark):
+    """Fig. 3b: workload throughput vs. core count and serial ratio."""
+    points = run_once(benchmark, serial_fraction_sweep,
+                      cores_list=[1, 2, 4, 6, 8],
+                      serial_fractions=[0.0, 0.1, 0.2, 0.3, 0.4, 0.5])
+    rows = [(p.cores, f"{int(p.serial_fraction * 100)}%",
+             p.throughput_gb_per_s) for p in points]
+    print("\nFig. 3b: throughput (GB/s) vs cores and serial ratio")
+    print(format_table(["cores", "serial", "GB/s"], rows))
+    by_key = {(p.cores, p.serial_fraction): p for p in points}
+    # Scalability collapses as the serial fraction grows (Amdahl).
+    assert by_key[(8, 0.0)].throughput_gb_per_s > 3.0
+    assert by_key[(8, 0.3)].throughput_gb_per_s \
+        < 0.7 * by_key[(8, 0.0)].throughput_gb_per_s
+    assert by_key[(8, 0.5)].throughput_gb_per_s \
+        < by_key[(8, 0.3)].throughput_gb_per_s
+    # At one core the serial fraction is irrelevant.
+    assert abs(by_key[(1, 0.5)].throughput_gb_per_s
+               - by_key[(1, 0.0)].throughput_gb_per_s) \
+        < 0.1 * by_key[(1, 0.0)].throughput_gb_per_s
+
+
+def test_fig3c_utilization_vs_serial_fraction(benchmark):
+    """Fig. 3c: CPU (LWP) utilization vs. core count and serial ratio."""
+    points = run_once(benchmark, serial_fraction_sweep,
+                      cores_list=[2, 4, 8],
+                      serial_fractions=[0.0, 0.1, 0.3, 0.5])
+    rows = [(p.cores, f"{int(p.serial_fraction * 100)}%", p.utilization_pct)
+            for p in points]
+    print("\nFig. 3c: core utilization (%) vs cores and serial ratio")
+    print(format_table(["cores", "serial", "util %"], rows))
+    by_key = {(p.cores, p.serial_fraction): p for p in points}
+    # Paper: with 30% serial parts, 8-core utilization is below ~46%.
+    assert by_key[(8, 0.3)].utilization_pct < 60.0
+    assert by_key[(8, 0.0)].utilization_pct > 90.0
+    assert by_key[(8, 0.5)].utilization_pct < by_key[(8, 0.1)].utilization_pct
+
+
+def test_fig3d_execution_time_breakdown(benchmark):
+    """Fig. 3d: execution-time breakdown on the conventional system."""
+    rows = run_once(benchmark, baseline_breakdown,
+                    workloads=tuple(MOTIVATION_ORDER), input_scale=0.25)
+    table = [(r.workload, r.accelerator_fraction, r.ssd_fraction,
+              r.host_stack_fraction) for r in rows]
+    print("\nFig. 3d: execution time breakdown (fractions)")
+    print(format_table(["workload", "accelerator", "ssd", "host stack"],
+                       table))
+    by_name = {r.workload: r for r in rows}
+    # Data-intensive workloads spend most of their time in the storage path.
+    for name in ("ATAX", "BICG", "MVT"):
+        io = by_name[name].ssd_fraction + by_name[name].host_stack_fraction
+        assert io > 0.5
+    # Compute-intensive workloads do not.
+    for name in ("SYRK", "3MM"):
+        assert by_name[name].accelerator_fraction > 0.5
+
+
+def test_fig3e_energy_breakdown(benchmark):
+    """Fig. 3e: energy breakdown on the conventional system."""
+    rows = run_once(benchmark, baseline_breakdown,
+                    workloads=tuple(MOTIVATION_ORDER), input_scale=0.25)
+    table = [(r.workload, r.energy_accelerator_fraction,
+              r.energy_ssd_fraction, r.energy_host_stack_fraction)
+             for r in rows]
+    print("\nFig. 3e: energy breakdown (fractions)")
+    print(format_table(["workload", "accelerator", "ssd", "host stack"],
+                       table))
+    # Paper: storage-stack accesses consume the bulk of system energy, even
+    # for compute-intensive kernels (>77% on average).
+    non_compute = [r.energy_ssd_fraction + r.energy_host_stack_fraction
+                   for r in rows]
+    assert sum(non_compute) / len(non_compute) > 0.6

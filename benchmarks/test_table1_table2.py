@@ -1,0 +1,33 @@
+"""Tables 1 and 2: hardware specification and workload characteristics."""
+
+from repro.eval import format_table
+from repro.hw import prototype_spec
+from repro.workloads import POLYBENCH, POLYBENCH_ORDER, table2_rows
+
+from conftest import run_once
+
+
+def test_table1_hardware_specification(benchmark):
+    """Regenerate Table 1 (hardware specification of the baseline)."""
+    spec = prototype_spec()
+    rows = run_once(benchmark, spec.table1_rows)
+    print("\nTable 1: Hardware specification of our baseline")
+    print(format_table(
+        ["Components", "Specification", "Frequency", "Power", "Est. B/W"],
+        rows))
+    assert len(rows) == 8
+    assert spec.flash.capacity_bytes == 32 * 1024 ** 3
+
+
+def test_table2_workload_characteristics(benchmark):
+    """Regenerate Table 2 (workload characteristics)."""
+    rows = run_once(benchmark, table2_rows)
+    print("\nTable 2: Important characteristics of our workloads")
+    print(format_table(
+        ["Name", "Description", "MBLKs", "Serial", "Input(MB)", "LD/ST(%)",
+         "B/KI"], rows))
+    assert len(rows) == 14
+    assert [row[0] for row in rows] == POLYBENCH_ORDER
+    # Derived instruction counts: compute-intensive kernels execute far more
+    # instructions per byte than data-intensive ones.
+    assert POLYBENCH["3MM"].instructions > 20 * POLYBENCH["ATAX"].instructions

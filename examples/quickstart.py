@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run one PolyBench workload on FlashAbacus and on the baseline.
+
+This is the smallest end-to-end use of the public API:
+
+1. build a workload (six instances of ATAX, as in the paper's homogeneous
+   evaluation),
+2. run it on the FlashAbacus accelerator with the out-of-order intra-kernel
+   scheduler (``IntraO3``),
+3. run the same workload on the conventional ``SIMD`` baseline (host + NVMe
+   SSD + storage stack),
+4. compare throughput, energy, and LWP utilization.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import run_baseline, run_flashabacus
+from repro.eval import format_table, improvement_pct
+from repro.workloads import homogeneous_workload
+
+# Scale the 640 MB-per-instance data set down so the example finishes in a
+# couple of seconds; every reported ratio is invariant to this factor.
+INPUT_SCALE = 0.1
+
+
+def main() -> None:
+    workload_name = "ATAX"
+
+    flashabacus = run_flashabacus(
+        homogeneous_workload(workload_name, instances=6,
+                             input_scale=INPUT_SCALE),
+        scheduler="IntraO3", workload_name=workload_name)
+
+    simd = run_baseline(
+        homogeneous_workload(workload_name, instances=6,
+                             input_scale=INPUT_SCALE),
+        workload_name=workload_name)
+
+    rows = []
+    for report in (simd, flashabacus):
+        rows.append((report.system,
+                     report.throughput_mb_per_s,
+                     report.energy_joules,
+                     report.worker_utilization * 100.0,
+                     report.makespan_s))
+    print(f"Workload: {workload_name} (6 instances, input scale {INPUT_SCALE})\n")
+    print(format_table(
+        ["system", "throughput (MB/s)", "energy (J)", "LWP util (%)",
+         "makespan (s)"], rows))
+
+    gain = improvement_pct(flashabacus.throughput_mb_per_s,
+                           simd.throughput_mb_per_s)
+    saving = (1.0 - flashabacus.energy_joules / simd.energy_joules) * 100.0
+    print(f"\nFlashAbacus (IntraO3) vs SIMD: {gain:+.0f}% throughput, "
+          f"{saving:.0f}% less energy")
+    print("Paper reports +127% bandwidth and 78.4% energy reduction on "
+          "average across all workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+"""Multi-app execution chain (Figure 8 of the paper).
+
+The chain records, per application, the ordered list of microblock nodes
+and for each node the per-screen execution status (which LWP ran it and
+whether it completed).  The schedulers use the chain to decide which
+screens are *ready*: no screen of microblock ``i+1`` may start before every
+screen of microblock ``i`` in the same kernel has completed — this is the
+only data-dependency rule FlashAbacus enforces (dependencies only exist
+among the microblocks within an application's kernel, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .kernel import Kernel, Microblock, Screen
+
+
+class ScreenStatus(Enum):
+    """Lifecycle of one screen inside the chain."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class ScreenNode:
+    """Per-screen bookkeeping inside a microblock node."""
+
+    screen: Screen
+    status: ScreenStatus = ScreenStatus.PENDING
+    lwp_id: Optional[int] = None
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: Set as soon as a scheduler hands the screen to a worker, before the
+    #: worker has actually started it, so no other worker can claim it.
+    claimed: bool = False
+
+
+@dataclass
+class MicroblockNode:
+    """One node of the chain: a microblock and the status of its screens."""
+
+    kernel: Kernel
+    microblock: Microblock
+    screens: List[ScreenNode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.screens:
+            self.screens = [ScreenNode(screen=s)
+                            for s in self.microblock.screens]
+
+    @property
+    def complete(self) -> bool:
+        return all(s.status is ScreenStatus.DONE for s in self.screens)
+
+    @property
+    def started(self) -> bool:
+        return any(s.status is not ScreenStatus.PENDING for s in self.screens)
+
+    def pending_screens(self) -> List[ScreenNode]:
+        return [s for s in self.screens
+                if s.status is ScreenStatus.PENDING and not s.claimed]
+
+
+@dataclass
+class KernelChain:
+    """The ordered microblock nodes of one kernel."""
+
+    kernel: Kernel
+    nodes: List[MicroblockNode] = field(default_factory=list)
+    offloaded_at: float = 0.0
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            self.nodes = [MicroblockNode(kernel=self.kernel, microblock=m)
+                          for m in self.kernel.microblocks]
+
+    @property
+    def complete(self) -> bool:
+        return all(node.complete for node in self.nodes)
+
+    def current_node(self) -> Optional[MicroblockNode]:
+        """The earliest node that is not yet complete (None when done)."""
+        for node in self.nodes:
+            if not node.complete:
+                return node
+        return None
+
+    def ready_screens(self) -> List[Tuple[MicroblockNode, ScreenNode]]:
+        """Screens that may start now: pending screens of the current node."""
+        node = self.current_node()
+        if node is None:
+            return []
+        return [(node, screen) for screen in node.pending_screens()]
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.offloaded_at
+
+
+class MultiAppExecutionChain:
+    """Root data structure: one list of kernel chains per application."""
+
+    def __init__(self) -> None:
+        self._per_app: Dict[int, List[KernelChain]] = {}
+        self._by_kernel: Dict[int, KernelChain] = {}
+
+    # -- construction ----------------------------------------------------------
+    def add_kernel(self, kernel: Kernel, now: float = 0.0) -> KernelChain:
+        chain = KernelChain(kernel=kernel, offloaded_at=now)
+        self._per_app.setdefault(kernel.app_id, []).append(chain)
+        self._by_kernel[kernel.kernel_id] = chain
+        return chain
+
+    # -- lookup -----------------------------------------------------------------
+    def apps(self) -> List[int]:
+        return sorted(self._per_app)
+
+    def chains_for_app(self, app_id: int) -> List[KernelChain]:
+        return list(self._per_app.get(app_id, []))
+
+    def chain_for_kernel(self, kernel: Kernel) -> KernelChain:
+        return self._by_kernel[kernel.kernel_id]
+
+    def all_chains(self) -> Iterator[KernelChain]:
+        for app_id in self.apps():
+            yield from self._per_app[app_id]
+
+    # -- status ---------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return all(chain.complete for chain in self.all_chains())
+
+    def ready_screens(self) -> List[Tuple[KernelChain, MicroblockNode, ScreenNode]]:
+        """All screens that may start now, across every app and kernel."""
+        ready = []
+        for chain in self.all_chains():
+            for node, screen in chain.ready_screens():
+                ready.append((chain, node, screen))
+        return ready
+
+    def mark_running(self, screen_node: ScreenNode, lwp_id: int,
+                     now: float) -> None:
+        if screen_node.status is not ScreenStatus.PENDING:
+            raise ValueError("screen is not pending")
+        screen_node.status = ScreenStatus.RUNNING
+        screen_node.lwp_id = lwp_id
+        screen_node.started_at = now
+
+    def mark_done(self, chain: KernelChain, screen_node: ScreenNode,
+                  now: float) -> None:
+        if screen_node.status is not ScreenStatus.RUNNING:
+            raise ValueError("screen is not running")
+        screen_node.status = ScreenStatus.DONE
+        screen_node.completed_at = now
+        if chain.complete and chain.completed_at is None:
+            chain.completed_at = now
+
+    # -- metrics --------------------------------------------------------------
+    def kernel_latencies(self) -> List[float]:
+        return [chain.latency for chain in self.all_chains()
+                if chain.latency is not None]
+
+    def completion_times(self) -> List[float]:
+        return sorted(chain.completed_at for chain in self.all_chains()
+                      if chain.completed_at is not None)

@@ -1,0 +1,37 @@
+"""The four FlashAbacus kernel-scheduling policies (Sections 4.1 and 4.2)."""
+
+from .base import Scheduler, WorkItem
+from .inter_static import StaticInterKernelScheduler
+from .inter_dynamic import DynamicInterKernelScheduler
+from .intra_inorder import InOrderIntraKernelScheduler
+from .intra_ooo import OutOfOrderIntraKernelScheduler
+
+SCHEDULER_CLASSES = {
+    "InterSt": StaticInterKernelScheduler,
+    "InterDy": DynamicInterKernelScheduler,
+    "IntraIo": InOrderIntraKernelScheduler,
+    "IntraO3": OutOfOrderIntraKernelScheduler,
+}
+
+
+def make_scheduler(name: str, num_workers: int) -> Scheduler:
+    """Instantiate a scheduler by its paper name (InterSt/InterDy/IntraIo/IntraO3)."""
+    try:
+        cls = SCHEDULER_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULER_CLASSES)}"
+        ) from None
+    return cls(num_workers)
+
+
+__all__ = [
+    "Scheduler",
+    "WorkItem",
+    "StaticInterKernelScheduler",
+    "DynamicInterKernelScheduler",
+    "InOrderIntraKernelScheduler",
+    "OutOfOrderIntraKernelScheduler",
+    "SCHEDULER_CLASSES",
+    "make_scheduler",
+]

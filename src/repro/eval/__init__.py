@@ -1,0 +1,62 @@
+"""Evaluation harness: runners, motivation studies, per-figure experiments."""
+
+from .runner import (
+    FLASHABACUS_SYSTEMS,
+    SYSTEMS,
+    ComparisonResult,
+    compare_systems,
+    run_system,
+)
+from .motivation import (
+    BreakdownRow,
+    CORE_COUNTS,
+    SERIAL_FRACTIONS,
+    SerialSweepPoint,
+    baseline_breakdown,
+    serial_fraction_sweep,
+)
+from .experiments import (
+    HETEROGENEOUS_INSTANCES_PER_KERNEL,
+    HOMOGENEOUS_INSTANCES,
+    TimeSeriesResult,
+    fig10a_homogeneous_throughput,
+    fig10b_heterogeneous_throughput,
+    fig11_latency,
+    fig12_completion_cdf,
+    fig13_energy_breakdown,
+    fig14_utilization,
+    fig15_timeseries,
+    fig16_realworld,
+    headline_summary,
+)
+from .report import format_comparison, format_table, geometric_mean, improvement_pct
+
+__all__ = [
+    "FLASHABACUS_SYSTEMS",
+    "SYSTEMS",
+    "ComparisonResult",
+    "compare_systems",
+    "run_system",
+    "BreakdownRow",
+    "CORE_COUNTS",
+    "SERIAL_FRACTIONS",
+    "SerialSweepPoint",
+    "baseline_breakdown",
+    "serial_fraction_sweep",
+    "HETEROGENEOUS_INSTANCES_PER_KERNEL",
+    "HOMOGENEOUS_INSTANCES",
+    "TimeSeriesResult",
+    "fig10a_homogeneous_throughput",
+    "fig10b_heterogeneous_throughput",
+    "fig11_latency",
+    "fig12_completion_cdf",
+    "fig13_energy_breakdown",
+    "fig14_utilization",
+    "fig15_timeseries",
+    "fig16_realworld",
+    "headline_summary",
+    "format_comparison",
+    "format_table",
+    "geometric_mean",
+    "improvement_pct",
+]

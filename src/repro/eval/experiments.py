@@ -1,0 +1,294 @@
+"""One function per table/figure of the paper's evaluation (Section 5).
+
+Every function returns plain data structures (dicts keyed by workload and
+system) so the benchmarks can both print paper-style rows and assert the
+qualitative relations that define a successful reproduction.  ``input_scale``
+shrinks the data sets proportionally — the scheduling/energy *ratios* are
+scale-invariant, so the default benchmark configuration uses a moderate
+scale to keep run time reasonable, and the EXPERIMENTS.md numbers record
+the scale used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hw.spec import HardwareSpec, prototype_spec
+from ..workloads.characteristics import (
+    DATA_INTENSIVE,
+    POLYBENCH_ORDER,
+    REALWORLD_ORDER,
+)
+from ..workloads.mixes import MIX_ORDER, heterogeneous_workload
+from ..workloads.polybench import homogeneous_workload
+from ..workloads.rodinia import realworld_workload
+from .runner import SYSTEMS, ComparisonResult, compare_systems
+
+#: Default instance counts from Section 5.1.
+HOMOGENEOUS_INSTANCES = 6
+HETEROGENEOUS_INSTANCES_PER_KERNEL = 4
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10: data-processing throughput                                        #
+# --------------------------------------------------------------------------- #
+def fig10a_homogeneous_throughput(
+        workloads: Sequence[str] = tuple(POLYBENCH_ORDER),
+        systems: Sequence[str] = tuple(SYSTEMS),
+        instances: int = HOMOGENEOUS_INSTANCES,
+        input_scale: float = 1.0,
+        spec: Optional[HardwareSpec] = None) -> Dict[str, Dict[str, float]]:
+    """Throughput (MB/s) of every system for each homogeneous workload."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        comparison = compare_systems(
+            name,
+            lambda name=name: homogeneous_workload(name, instances=instances,
+                                                   input_scale=input_scale),
+            systems=systems, spec=spec)
+        results[name] = {s: comparison.throughput(s) for s in systems}
+    return results
+
+
+def fig10b_heterogeneous_throughput(
+        mixes: Sequence[str] = tuple(MIX_ORDER),
+        systems: Sequence[str] = tuple(SYSTEMS),
+        instances_per_kernel: int = HETEROGENEOUS_INSTANCES_PER_KERNEL,
+        input_scale: float = 1.0,
+        spec: Optional[HardwareSpec] = None) -> Dict[str, Dict[str, float]]:
+    """Throughput (MB/s) of every system for each heterogeneous mix."""
+    results: Dict[str, Dict[str, float]] = {}
+    for mix in mixes:
+        comparison = compare_systems(
+            mix,
+            lambda mix=mix: heterogeneous_workload(
+                mix, instances_per_kernel=instances_per_kernel,
+                input_scale=input_scale),
+            systems=systems, spec=spec)
+        results[mix] = {s: comparison.throughput(s) for s in systems}
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11: latency (min / avg / max, normalized to SIMD)                     #
+# --------------------------------------------------------------------------- #
+def fig11_latency(workloads: Sequence[str],
+                  heterogeneous: bool = False,
+                  systems: Sequence[str] = tuple(SYSTEMS),
+                  input_scale: float = 1.0,
+                  spec: Optional[HardwareSpec] = None
+                  ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Kernel latency statistics normalized to SIMD (Fig. 11a/11b)."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        if heterogeneous:
+            factory = lambda name=name: heterogeneous_workload(
+                name, input_scale=input_scale)
+        else:
+            factory = lambda name=name: homogeneous_workload(
+                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
+        comparison = compare_systems(name, factory, systems=systems, spec=spec)
+        results[name] = comparison.normalized_latency("SIMD")
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12: CDF of kernel completion times                                    #
+# --------------------------------------------------------------------------- #
+def fig12_completion_cdf(workload: str = "ATAX",
+                         heterogeneous: bool = False,
+                         systems: Sequence[str] = tuple(SYSTEMS),
+                         input_scale: float = 1.0,
+                         spec: Optional[HardwareSpec] = None
+                         ) -> Dict[str, List[Tuple[float, int]]]:
+    """(completion time, #kernels completed) series per system (Fig. 12)."""
+    if heterogeneous:
+        factory = lambda: heterogeneous_workload(workload,
+                                                 input_scale=input_scale)
+    else:
+        factory = lambda: homogeneous_workload(
+            workload, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
+    comparison = compare_systems(workload, factory, systems=systems, spec=spec)
+    out: Dict[str, List[Tuple[float, int]]] = {}
+    for system in systems:
+        completions = comparison.reports[system].completion_times
+        out[system] = [(t, i + 1) for i, t in enumerate(sorted(completions))]
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Figure 13: energy decomposition (normalized to SIMD)                         #
+# --------------------------------------------------------------------------- #
+def fig13_energy_breakdown(workloads: Sequence[str],
+                           heterogeneous: bool = False,
+                           systems: Sequence[str] = tuple(SYSTEMS),
+                           input_scale: float = 1.0,
+                           spec: Optional[HardwareSpec] = None
+                           ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Energy split into data movement / computation / storage access.
+
+    Every bucket is normalized to the total energy of SIMD for the same
+    workload, as in the paper's Figure 13.
+    """
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        if heterogeneous:
+            factory = lambda name=name: heterogeneous_workload(
+                name, input_scale=input_scale)
+        else:
+            factory = lambda name=name: homogeneous_workload(
+                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
+        comparison = compare_systems(name, factory, systems=systems, spec=spec)
+        simd_total = comparison.reports["SIMD"].energy.total \
+            if "SIMD" in comparison.reports else None
+        per_system: Dict[str, Dict[str, float]] = {}
+        for system in systems:
+            energy = comparison.reports[system].energy
+            denom = simd_total if simd_total else energy.total or 1.0
+            per_system[system] = {
+                "data_movement": energy.data_movement / denom,
+                "computation": energy.computation / denom,
+                "storage_access": energy.storage_access / denom,
+                "total": energy.total / denom,
+            }
+        results[name] = per_system
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 14: processor (LWP) utilization                                       #
+# --------------------------------------------------------------------------- #
+def fig14_utilization(workloads: Sequence[str],
+                      heterogeneous: bool = False,
+                      systems: Sequence[str] = tuple(SYSTEMS),
+                      input_scale: float = 1.0,
+                      spec: Optional[HardwareSpec] = None
+                      ) -> Dict[str, Dict[str, float]]:
+    """Average LWP utilization (%) per system (Fig. 14a/14b)."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        if heterogeneous:
+            factory = lambda name=name: heterogeneous_workload(
+                name, input_scale=input_scale)
+        else:
+            factory = lambda name=name: homogeneous_workload(
+                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
+        comparison = compare_systems(name, factory, systems=systems, spec=spec)
+        results[name] = {s: comparison.utilization(s) * 100.0 for s in systems}
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 15: functional-unit utilization and power over time                   #
+# --------------------------------------------------------------------------- #
+@dataclass
+class TimeSeriesResult:
+    """Resampled FU-utilization and power traces for one system (Fig. 15)."""
+
+    system: str
+    makespan_s: float
+    fu_times: List[float] = field(default_factory=list)
+    fu_values: List[float] = field(default_factory=list)
+    power_times: List[float] = field(default_factory=list)
+    power_values: List[float] = field(default_factory=list)
+
+    @property
+    def peak_power_w(self) -> float:
+        return max(self.power_values) if self.power_values else 0.0
+
+    @property
+    def mean_active_fus(self) -> float:
+        if not self.fu_values:
+            return 0.0
+        return sum(self.fu_values) / len(self.fu_values)
+
+
+def fig15_timeseries(workload: str = "MX1",
+                     systems: Sequence[str] = ("SIMD", "IntraO3"),
+                     input_scale: float = 1.0,
+                     sample_points: int = 200,
+                     spec: Optional[HardwareSpec] = None
+                     ) -> Dict[str, TimeSeriesResult]:
+    """FU-utilization and power time series for SIMD vs. IntraO3 (Fig. 15)."""
+    comparison = compare_systems(
+        workload,
+        lambda: heterogeneous_workload(workload, input_scale=input_scale),
+        systems=systems, spec=spec, track_power_series=True)
+    out: Dict[str, TimeSeriesResult] = {}
+    for system in systems:
+        report = comparison.reports[system]
+        result = TimeSeriesResult(system=system, makespan_s=report.makespan_s)
+        step = max(report.makespan_s / sample_points, 1e-6)
+        if report.fu_series is not None and len(report.fu_series):
+            resampled = report.fu_series.resample(step, end=report.makespan_s)
+            result.fu_times = resampled.times()
+            result.fu_values = resampled.values()
+        if report.power_series is not None and len(report.power_series):
+            resampled = report.power_series.resample(step,
+                                                     end=report.makespan_s)
+            result.power_times = resampled.times()
+            result.power_values = resampled.values()
+        out[system] = result
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Figure 16: graph / big-data applications                                     #
+# --------------------------------------------------------------------------- #
+def fig16_realworld(workloads: Sequence[str] = tuple(REALWORLD_ORDER),
+                    systems: Sequence[str] = tuple(SYSTEMS),
+                    instances: int = HOMOGENEOUS_INSTANCES,
+                    input_scale: float = 1.0,
+                    spec: Optional[HardwareSpec] = None
+                    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Throughput and normalized energy for bfs/wc/nn/nw/path (Fig. 16)."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        comparison = compare_systems(
+            name,
+            lambda name=name: realworld_workload(name, instances=instances,
+                                                 input_scale=input_scale),
+            systems=systems, spec=spec)
+        simd_energy = comparison.energy("SIMD") if "SIMD" in systems else None
+        per_system: Dict[str, Dict[str, float]] = {}
+        for system in systems:
+            report = comparison.reports[system]
+            denom = simd_energy if simd_energy else report.energy_joules or 1.0
+            per_system[system] = {
+                "throughput_mb_per_s": report.throughput_mb_per_s,
+                "normalized_energy": report.energy_joules / denom,
+            }
+        results[name] = per_system
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Headline numbers (abstract / conclusion)                                     #
+# --------------------------------------------------------------------------- #
+def headline_summary(workloads: Sequence[str] = ("ATAX", "MVT", "SYRK", "3MM"),
+                     input_scale: float = 0.1,
+                     spec: Optional[HardwareSpec] = None) -> Dict[str, float]:
+    """Average IntraO3-vs-SIMD throughput gain and energy saving.
+
+    The paper's headline: +127% bandwidth, -78.4% energy.  This helper
+    reports the same two aggregates over a representative workload subset.
+    """
+    gains: List[float] = []
+    savings: List[float] = []
+    for name in workloads:
+        comparison = compare_systems(
+            name,
+            lambda name=name: homogeneous_workload(
+                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale),
+            systems=("SIMD", "IntraO3"), spec=spec)
+        simd = comparison.reports["SIMD"]
+        intra = comparison.reports["IntraO3"]
+        if simd.throughput_mb_per_s > 0:
+            gains.append(intra.throughput_mb_per_s / simd.throughput_mb_per_s)
+        if simd.energy_joules > 0:
+            savings.append(1.0 - intra.energy_joules / simd.energy_joules)
+    return {
+        "mean_throughput_gain": (sum(gains) / len(gains)) if gains else 0.0,
+        "mean_energy_saving": (sum(savings) / len(savings)) if savings else 0.0,
+    }

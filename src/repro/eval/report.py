@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment results.
+
+Every benchmark prints the same kind of rows the paper's tables and figures
+report; EXPERIMENTS.md is assembled from the same strings so that the
+recorded numbers always match what the harness produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 float_format: str = "{:.2f}") -> str:
+    """Render ``rows`` as a fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(title: str, metric_by_system: Dict[str, Dict[str, float]],
+                      metric_name: str = "value",
+                      float_format: str = "{:.2f}") -> str:
+    """Render {workload: {system: value}} as a table with systems as columns."""
+    systems: List[str] = []
+    for per_system in metric_by_system.values():
+        for system in per_system:
+            if system not in systems:
+                systems.append(system)
+    headers = ["workload"] + systems
+    rows = []
+    for workload, per_system in metric_by_system.items():
+        rows.append([workload] + [per_system.get(s, float("nan"))
+                                  for s in systems])
+    return f"{title} ({metric_name})\n" + format_table(headers, rows,
+                                                       float_format)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-positive entries."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))
+
+
+def improvement_pct(new: float, old: float) -> float:
+    """Percentage improvement of ``new`` over ``old`` ((new-old)/old * 100)."""
+    if old == 0:
+        return float("inf") if new > 0 else 0.0
+    return (new - old) / old * 100.0

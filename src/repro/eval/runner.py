@@ -1,0 +1,93 @@
+"""Evaluation runner: execute one workload on any of the five systems.
+
+The paper compares five accelerated systems (Section 5): ``SIMD`` (the
+conventional baseline) and the four FlashAbacus schedulers ``InterSt``,
+``InterDy``, ``IntraIo`` and ``IntraO3``.  This module provides a uniform
+entry point used by every experiment and benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.accelerator import ExecutionReport, run_flashabacus
+from ..core.kernel import Kernel
+from ..baseline.system import run_baseline
+from ..hw.spec import HardwareSpec
+
+#: The five accelerated systems of Section 5, in the paper's plot order.
+SYSTEMS: List[str] = ["SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"]
+
+#: FlashAbacus-only subset.
+FLASHABACUS_SYSTEMS: List[str] = ["InterSt", "IntraIo", "InterDy", "IntraO3"]
+
+
+def run_system(system: str, kernels: Sequence[Kernel],
+               workload_name: str = "workload",
+               spec: Optional[HardwareSpec] = None,
+               track_power_series: bool = False) -> ExecutionReport:
+    """Run ``kernels`` on one of the five systems and return its report."""
+    if system == "SIMD":
+        return run_baseline(kernels, workload_name, spec=spec,
+                            track_power_series=track_power_series)
+    if system in FLASHABACUS_SYSTEMS:
+        return run_flashabacus(kernels, scheduler=system,
+                               workload_name=workload_name, spec=spec,
+                               track_power_series=track_power_series)
+    raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+
+
+@dataclass
+class ComparisonResult:
+    """Reports for one workload across several systems."""
+
+    workload: str
+    reports: Dict[str, ExecutionReport] = field(default_factory=dict)
+
+    def throughput(self, system: str) -> float:
+        return self.reports[system].throughput_mb_per_s
+
+    def energy(self, system: str) -> float:
+        return self.reports[system].energy_joules
+
+    def utilization(self, system: str) -> float:
+        return self.reports[system].worker_utilization
+
+    def normalized_throughput(self, reference: str = "SIMD") -> Dict[str, float]:
+        base = self.throughput(reference)
+        return {name: (self.throughput(name) / base if base > 0 else 0.0)
+                for name in self.reports}
+
+    def normalized_energy(self, reference: str = "SIMD") -> Dict[str, float]:
+        base = self.energy(reference)
+        return {name: (self.energy(name) / base if base > 0 else 0.0)
+                for name in self.reports}
+
+    def normalized_latency(self, reference: str = "SIMD") -> Dict[str, Dict[str, float]]:
+        """min/mean/max kernel latency of each system relative to ``reference``."""
+        ref = self.reports[reference].latency_summary()
+        out: Dict[str, Dict[str, float]] = {}
+        for name, report in self.reports.items():
+            summary = report.latency_summary()
+            out[name] = {
+                "min": summary.min / ref.min if ref.min > 0 else 0.0,
+                "mean": summary.mean / ref.mean if ref.mean > 0 else 0.0,
+                "max": summary.max / ref.max if ref.max > 0 else 0.0,
+            }
+        return out
+
+
+def compare_systems(workload_name: str,
+                    kernel_factory: Callable[[], Sequence[Kernel]],
+                    systems: Sequence[str] = SYSTEMS,
+                    spec: Optional[HardwareSpec] = None,
+                    track_power_series: bool = False) -> ComparisonResult:
+    """Run the same workload on several systems (fresh kernels per system)."""
+    result = ComparisonResult(workload=workload_name)
+    for system in systems:
+        kernels = list(kernel_factory())
+        result.reports[system] = run_system(
+            system, kernels, workload_name, spec=spec,
+            track_power_series=track_power_series)
+    return result

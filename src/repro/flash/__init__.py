@@ -1,0 +1,28 @@
+"""Flash backbone substrate: geometry, timing models, controllers, FTL."""
+
+from .geometry import FlashGeometry, PhysicalPageAddress
+from .package import FlashDie, FlashPackage
+from .channel import FlashChannel
+from .controller import FlashController, FlashTransaction
+from .ftl import (
+    BlockAllocator,
+    BlockRowState,
+    OutOfSpaceError,
+    PageGroupMappingTable,
+)
+from .backbone import FlashBackbone
+
+__all__ = [
+    "FlashGeometry",
+    "PhysicalPageAddress",
+    "FlashDie",
+    "FlashPackage",
+    "FlashChannel",
+    "FlashController",
+    "FlashTransaction",
+    "BlockAllocator",
+    "BlockRowState",
+    "OutOfSpaceError",
+    "PageGroupMappingTable",
+    "FlashBackbone",
+]

@@ -1,0 +1,109 @@
+"""On-chip interconnect: two-tier crossbar and hardware message queues.
+
+The prototype connects the LWPs and memories over a high-bandwidth tier-1
+streaming crossbar and reaches the AMC/PCIe/flash side over a slower tier-2
+crossbar (Table 1).  LWPs communicate through hardware message queues
+attached to the network (Section 2.2); FlashAbacus uses those queues for
+kernel-completion notifications and Flashvisor mapping requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim.engine import Environment
+from ..sim.resources import BandwidthPipe, Store
+from .spec import InterconnectSpec
+
+
+@dataclass
+class Message:
+    """One entry in a hardware message queue."""
+
+    sender: str
+    kind: str
+    payload: Any = None
+    enqueued_at: float = 0.0
+    reply_to: Optional["MessageQueue"] = None
+
+
+class MessageQueue:
+    """A bounded hardware queue with a fixed per-message latency."""
+
+    def __init__(self, env: Environment, name: str,
+                 latency_s: float = 0.5e-6, depth: int = 64):
+        self.env = env
+        self.name = name
+        self.latency_s = latency_s
+        self.store = Store(env, capacity=depth, name=name)
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def send(self, message: Message):
+        """Process generator: enqueue ``message`` (includes queue latency)."""
+        message.enqueued_at = self.env.now
+        yield self.env.timeout(self.latency_s)
+        yield self.store.put(message)
+        self.messages_sent += 1
+
+    def receive(self):
+        """Process generator: dequeue the next message (blocking)."""
+        message = yield self.store.get()
+        self.messages_received += 1
+        return message
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+class Crossbar:
+    """A crossbar tier modeled as parallel ports sharing total bandwidth."""
+
+    def __init__(self, env: Environment, name: str, bandwidth: float,
+                 latency_s: float, ports: int = 4):
+        if ports < 1:
+            raise ValueError("ports must be >= 1")
+        self.env = env
+        self.name = name
+        self.ports = ports
+        self.port_pipes = [
+            BandwidthPipe(env, bandwidth / ports, latency_s,
+                          name=f"{name}.port{i}")
+            for i in range(ports)
+        ]
+        self._next_port = 0
+
+    def transfer(self, num_bytes: int, port: Optional[int] = None):
+        """Process generator: move bytes through one crossbar port."""
+        if port is None:
+            port = self._next_port
+            self._next_port = (self._next_port + 1) % self.ports
+        pipe = self.port_pipes[port % self.ports]
+        record = yield from pipe.transfer(num_bytes)
+        return record
+
+    def bytes_moved(self) -> int:
+        return sum(pipe.bytes_moved for pipe in self.port_pipes)
+
+    def utilization(self) -> float:
+        return sum(p.utilization() for p in self.port_pipes) / self.ports
+
+
+class Interconnect:
+    """The complete two-tier network of the FlashAbacus platform."""
+
+    def __init__(self, env: Environment, spec: InterconnectSpec,
+                 tier1_ports: int = 8, tier2_ports: int = 2):
+        self.env = env
+        self.spec = spec
+        self.tier1 = Crossbar(env, "tier1", spec.tier1_bandwidth,
+                              spec.tier1_latency_s, ports=tier1_ports)
+        self.tier2 = Crossbar(env, "tier2", spec.tier2_bandwidth,
+                              spec.tier2_latency_s, ports=tier2_ports)
+
+    def new_queue(self, name: str) -> MessageQueue:
+        """Create a hardware message queue attached to the network."""
+        return MessageQueue(self.env, name,
+                            latency_s=self.spec.message_queue_latency_s,
+                            depth=self.spec.message_queue_depth)

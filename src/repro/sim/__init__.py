@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate used by all FlashAbacus models."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import BandwidthPipe, Resource, Store, TransferRecord
+from .stats import (
+    Counter,
+    IntervalAccumulator,
+    Sample,
+    SummaryStats,
+    TimeSeries,
+    TimeWeightedStat,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "BandwidthPipe",
+    "Resource",
+    "Store",
+    "TransferRecord",
+    "Counter",
+    "IntervalAccumulator",
+    "Sample",
+    "SummaryStats",
+    "TimeSeries",
+    "TimeWeightedStat",
+]

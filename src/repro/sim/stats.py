@@ -1,0 +1,232 @@
+"""Statistics collection for simulation models.
+
+Provides small accumulators used throughout the hardware and scheduler
+models:
+
+* :class:`Counter` — monotonically increasing named counters.
+* :class:`IntervalAccumulator` — accumulates busy intervals for utilization.
+* :class:`TimeWeightedStat` — time-weighted average of a piecewise-constant
+  signal (queue depths, active-core counts, instantaneous power).
+* :class:`TimeSeries` — raw (time, value) samples for Fig. 15-style plots.
+* :class:`SummaryStats` — min/avg/max/percentile helper over samples.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A bag of named, monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._values!r})"
+
+
+class IntervalAccumulator:
+    """Accumulates busy time from possibly nested begin/end intervals."""
+
+    def __init__(self) -> None:
+        self._busy = 0.0
+        self._depth = 0
+        self._since: Optional[float] = None
+
+    def begin(self, now: float) -> None:
+        if self._depth == 0:
+            self._since = now
+        self._depth += 1
+
+    def end(self, now: float) -> None:
+        if self._depth <= 0:
+            raise ValueError("end() without matching begin()")
+        self._depth -= 1
+        if self._depth == 0 and self._since is not None:
+            if now < self._since:
+                raise ValueError("interval ends before it begins")
+            self._busy += now - self._since
+            self._since = None
+
+    def busy_time(self, now: Optional[float] = None) -> float:
+        busy = self._busy
+        if self._depth > 0 and self._since is not None and now is not None:
+            busy += max(0.0, now - self._since)
+        return busy
+
+    def utilization(self, now: float) -> float:
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(now) / now)
+
+
+class TimeWeightedStat:
+    """Time-weighted mean of a piecewise-constant signal."""
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0):
+        self._value = initial
+        self._last_time = start_time
+        self._weighted_sum = 0.0
+        self._max = initial
+        self._min = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    def update(self, now: float, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time must not go backwards")
+        self._weighted_sum += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+        self._max = max(self._max, value)
+        self._min = min(self._min, value)
+
+    def adjust(self, now: float, delta: float) -> None:
+        """Shift the current value by ``delta`` at time ``now``."""
+        self.update(now, self._value + delta)
+
+    def mean(self, now: float) -> float:
+        total = self._weighted_sum + self._value * (now - self._last_time)
+        if now <= 0:
+            return self._value
+        return total / now
+
+
+@dataclass
+class Sample:
+    """One (time, value) observation."""
+
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """Raw sampled signal; supports resampling onto a fixed grid."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[Sample] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.samples and time < self.samples[-1].time:
+            raise ValueError("samples must be recorded in time order")
+        self.samples.append(Sample(time, value))
+
+    def times(self) -> List[float]:
+        return [s.time for s in self.samples]
+
+    def values(self) -> List[float]:
+        return [s.value for s in self.samples]
+
+    def value_at(self, time: float) -> float:
+        """Value of the signal at ``time`` (piecewise-constant, last sample).
+
+        When several samples share the same timestamp, the most recent one
+        wins — that is the value the signal settled on at that instant.
+        """
+        if not self.samples:
+            return 0.0
+        keys = self.times()
+        idx = bisect_right(keys, time)
+        if idx == 0:
+            return self.samples[0].value
+        return self.samples[idx - 1].value
+
+    def resample(self, step: float, end: Optional[float] = None) -> "TimeSeries":
+        """Return a new series sampled every ``step`` up to ``end``."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        out = TimeSeries(self.name)
+        if not self.samples:
+            return out
+        end = self.samples[-1].time if end is None else end
+        t = self.samples[0].time
+        while t <= end + 1e-12:
+            out.record(t, self.value_at(t))
+            t += step
+        return out
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class SummaryStats:
+    """Min / mean / max / percentile summary over a set of samples."""
+
+    def __init__(self, values: Iterable[float] = ()):
+        self._values: List[float] = sorted(values)
+
+    def add(self, value: float) -> None:
+        idx = bisect_left(self._values, value)
+        self._values.insert(idx, value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError("no samples")
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError("no samples")
+        return self._values[-1]
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("no samples")
+        return sum(self._values) / len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, ``pct`` in [0, 100]."""
+        if not self._values:
+            raise ValueError("no samples")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
+        if pct == 0:
+            return self._values[0]
+        rank = max(1, math.ceil(pct / 100.0 * len(self._values)))
+        return self._values[rank - 1]
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs, suitable for a CDF plot."""
+        n = len(self._values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self._values)]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"min": self.min, "mean": self.mean, "max": self.max,
+                "count": float(self.count)}

@@ -1,0 +1,152 @@
+"""Workload characteristics (Table 2 of the paper, plus Section 5.6).
+
+Each entry describes one benchmark kernel with the aggregate numbers the
+paper reports: how many microblocks it has, how many of them are serial
+(no screens), the input size per instance, the load/store instruction
+ratio, and the computation complexity in bytes processed per thousand
+instructions (B/KI).  The instruction count of a kernel instance is derived
+from ``input_mb`` and ``bytes_per_kilo_instruction``:
+
+    instructions = input_bytes * 1000 / B_per_KI
+
+so data-intensive kernels (high B/KI) execute few instructions per byte
+while compute-intensive kernels (low B/KI) execute many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """One row of Table 2 (or one of the Section 5.6 applications)."""
+
+    name: str
+    description: str
+    microblocks: int
+    serial_microblocks: int
+    input_mb: float
+    ld_st_ratio_pct: float
+    bytes_per_kilo_instruction: float
+    suite: str = "polybench"
+    output_fraction: float = 0.1
+
+    @property
+    def input_bytes(self) -> int:
+        return int(self.input_mb * MB)
+
+    @property
+    def output_bytes(self) -> int:
+        return int(self.input_bytes * self.output_fraction)
+
+    @property
+    def instructions(self) -> float:
+        """Total dynamic instructions for one instance of this kernel."""
+        return self.input_bytes * 1000.0 / self.bytes_per_kilo_instruction
+
+    @property
+    def ld_st_ratio(self) -> float:
+        return self.ld_st_ratio_pct / 100.0
+
+    @property
+    def is_data_intensive(self) -> bool:
+        """The paper groups workloads by B/KI; > 20 means data-intensive."""
+        return self.bytes_per_kilo_instruction > 20.0
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: the 14 PolyBench kernels                                            #
+# --------------------------------------------------------------------------- #
+POLYBENCH: Dict[str, WorkloadCharacteristics] = {
+    "ATAX": WorkloadCharacteristics(
+        "ATAX", "Matrix Transpose & Multiplication", 2, 1, 640, 45.61, 68.86),
+    "BICG": WorkloadCharacteristics(
+        "BICG", "BiCG Sub Kernel", 2, 1, 640, 46.0, 72.3),
+    "2DCON": WorkloadCharacteristics(
+        "2DCON", "2-Dimension Convolution", 1, 0, 640, 23.96, 35.59),
+    "MVT": WorkloadCharacteristics(
+        "MVT", "Matrix Vector Product & Transpose", 1, 0, 640, 45.1, 72.05),
+    "ADI": WorkloadCharacteristics(
+        "ADI", "Alternating Direction Implicit solver", 3, 1, 1920, 23.96, 35.59),
+    "FDTD": WorkloadCharacteristics(
+        "FDTD", "2-D Finite Difference Time Domain", 3, 1, 1920, 27.27, 38.52),
+    "GESUM": WorkloadCharacteristics(
+        "GESUM", "Scalar, Vector & Matrix Multiplication", 1, 0, 640, 48.08, 72.13),
+    "SYRK": WorkloadCharacteristics(
+        "SYRK", "Symmetric rank-k operations", 1, 0, 1280, 28.21, 5.29),
+    "3MM": WorkloadCharacteristics(
+        "3MM", "3-Matrix Multiplications", 3, 1, 2560, 33.68, 2.48),
+    "COVAR": WorkloadCharacteristics(
+        "COVAR", "Covariance Computation", 3, 1, 640, 34.33, 2.86),
+    "GEMM": WorkloadCharacteristics(
+        "GEMM", "Matrix-Multiply", 1, 0, 192, 30.77, 5.29),
+    "2MM": WorkloadCharacteristics(
+        "2MM", "2-Matrix Multiplications", 2, 1, 2560, 33.33, 3.76),
+    "SYR2K": WorkloadCharacteristics(
+        "SYR2K", "Symmetric rank-2k operations", 1, 0, 1280, 30.19, 1.85),
+    "CORR": WorkloadCharacteristics(
+        "CORR", "Correlation Computation", 4, 1, 640, 33.04, 2.79),
+}
+
+#: Order used by the paper's figures (data-intensive first).
+POLYBENCH_ORDER: List[str] = [
+    "ATAX", "BICG", "2DCON", "MVT", "GESUM", "ADI", "FDTD",
+    "SYRK", "3MM", "COVAR", "GEMM", "2MM", "SYR2K", "CORR",
+]
+
+#: The subset used in the Fig. 3d/3e motivation breakdowns.
+MOTIVATION_ORDER: List[str] = [
+    "ATAX", "BICG", "2DCON", "MVT", "SYRK", "3MM", "GESUM",
+    "ADI", "COVAR", "FDTD",
+]
+
+DATA_INTENSIVE: List[str] = [n for n in POLYBENCH_ORDER
+                             if POLYBENCH[n].is_data_intensive]
+COMPUTE_INTENSIVE: List[str] = [n for n in POLYBENCH_ORDER
+                                if not POLYBENCH[n].is_data_intensive]
+
+
+# --------------------------------------------------------------------------- #
+# Section 5.6: graph / bigdata applications (Rodinia + Mars)                   #
+# --------------------------------------------------------------------------- #
+REALWORLD: Dict[str, WorkloadCharacteristics] = {
+    "bfs": WorkloadCharacteristics(
+        "bfs", "Graph breadth-first traversal", 2, 1, 1024, 52.0, 48.0,
+        suite="rodinia"),
+    "wc": WorkloadCharacteristics(
+        "wc", "MapReduce wordcount", 2, 1, 1536, 48.0, 55.0, suite="mars"),
+    "nn": WorkloadCharacteristics(
+        "nn", "K-nearest neighbours", 2, 1, 1024, 44.0, 42.0, suite="rodinia"),
+    "nw": WorkloadCharacteristics(
+        "nw", "Needleman-Wunsch DNA sequence alignment", 1, 0, 768, 40.0, 30.0,
+        suite="rodinia"),
+    "path": WorkloadCharacteristics(
+        "path", "Pathfinder grid traversal", 1, 0, 768, 38.0, 34.0,
+        suite="rodinia"),
+}
+
+REALWORLD_ORDER: List[str] = ["bfs", "wc", "nn", "nw", "path"]
+
+
+def lookup(name: str) -> WorkloadCharacteristics:
+    """Find a workload in either suite by name (case-insensitive)."""
+    for table in (POLYBENCH, REALWORLD):
+        for key, value in table.items():
+            if key.lower() == name.lower():
+                return value
+    raise KeyError(f"unknown workload: {name!r}")
+
+
+def table2_rows() -> List[Tuple]:
+    """Render Table 2's per-kernel columns for reports and benchmarks."""
+    rows = []
+    for name in POLYBENCH_ORDER:
+        wc = POLYBENCH[name]
+        rows.append((wc.name, wc.description, wc.microblocks,
+                     wc.serial_microblocks, int(wc.input_mb),
+                     wc.ld_st_ratio_pct, wc.bytes_per_kilo_instruction))
+    return rows

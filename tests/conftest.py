@@ -1,0 +1,57 @@
+"""Shared fixtures for the FlashAbacus reproduction test suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hw.spec import FlashSpec, HardwareSpec, prototype_spec
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def spec() -> HardwareSpec:
+    """The default prototype hardware specification (Table 1)."""
+    return prototype_spec()
+
+
+@pytest.fixture
+def tiny_flash_spec() -> FlashSpec:
+    """A miniature flash backbone so GC and capacity tests run quickly."""
+    return FlashSpec(
+        channels=2,
+        packages_per_channel=1,
+        dies_per_package=1,
+        planes_per_die=2,
+        page_bytes=4096,
+        pages_per_block=8,
+        blocks_per_die=16,
+        page_read_latency_s=10e-6,
+        page_program_latency_s=100e-6,
+        block_erase_latency_s=200e-6,
+        channel_bus_bandwidth=400 * 1024 * 1024,
+        overprovision=0.2,
+    )
+
+
+@pytest.fixture
+def small_hw_spec(tiny_flash_spec) -> HardwareSpec:
+    """Prototype spec with the miniature flash backbone swapped in."""
+    base = prototype_spec()
+    return replace(base, flash=tiny_flash_spec)
+
+
+def run_process(env: Environment, generator):
+    """Drive ``generator`` to completion and return its value."""
+    proc = env.process(generator)
+    env.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value

@@ -1,0 +1,139 @@
+"""Integration tests for the FlashAbacus accelerator and its execution engine."""
+
+import pytest
+
+from repro.core import FlashAbacusAccelerator, run_flashabacus
+from repro.core.accelerator import FlashAddressSpace
+from repro.workloads import heterogeneous_workload, homogeneous_workload
+
+SCALE = 0.02   # shrink the Table 2 data sets; ratios are scale-invariant
+
+
+# --------------------------------------------------------------------------- #
+# FlashAddressSpace                                                            #
+# --------------------------------------------------------------------------- #
+def test_address_space_shares_input_regions_per_app():
+    space = FlashAddressSpace(capacity_bytes=1 << 30, alignment=65536)
+    a1 = space.input_region("ATAX:0", 1 << 20)
+    a2 = space.input_region("ATAX:0", 1 << 20)
+    b = space.input_region("BICG:1", 1 << 20)
+    assert a1 == a2
+    assert b != a1
+
+
+def test_address_space_output_regions_are_distinct_and_aligned():
+    space = FlashAddressSpace(capacity_bytes=1 << 30, alignment=65536)
+    first = space.output_region(100)
+    second = space.output_region(100)
+    assert first != second
+    assert first % 65536 == 0 and second % 65536 == 0
+
+
+def test_address_space_wraps_instead_of_overflowing():
+    space = FlashAddressSpace(capacity_bytes=4 * 65536, alignment=65536)
+    regions = [space.output_region(65536) for _ in range(6)]
+    assert all(r < 4 * 65536 for r in regions)
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end execution                                                         #
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("scheduler", ["InterSt", "InterDy", "IntraIo", "IntraO3"])
+def test_every_scheduler_completes_all_kernels(scheduler):
+    kernels = homogeneous_workload("ATAX", instances=3, input_scale=SCALE)
+    report = run_flashabacus(kernels, scheduler, "ATAX")
+    assert report.system == scheduler
+    assert len(report.kernel_latencies) == len(kernels)
+    assert len(report.completion_times) == len(kernels)
+    assert report.makespan_s > 0
+    assert report.throughput_mb_per_s > 0
+    assert report.energy_joules > 0
+    assert 0 < report.worker_utilization <= 1.0
+
+
+def test_report_bytes_processed_matches_workload():
+    kernels = homogeneous_workload("MVT", instances=2, input_scale=SCALE)
+    expected = sum(k.input_bytes + k.output_bytes for k in kernels)
+    report = run_flashabacus(kernels, "InterDy", "MVT")
+    assert report.bytes_processed == expected
+
+
+def test_completion_times_monotonic_and_bounded_by_makespan():
+    kernels = homogeneous_workload("BICG", instances=4, input_scale=SCALE)
+    report = run_flashabacus(kernels, "IntraO3", "BICG")
+    times = report.completion_times
+    assert times == sorted(times)
+    assert times[-1] == pytest.approx(report.makespan_s)
+    assert all(lat <= report.makespan_s + 1e-9
+               for lat in report.kernel_latencies)
+
+
+def test_flash_traffic_covers_inputs_and_outputs():
+    accelerator = FlashAbacusAccelerator(scheduler="InterDy")
+    kernels = homogeneous_workload("2DCON", instances=2, input_scale=SCALE)
+    report = accelerator.run_workload(kernels, "2DCON")
+    total_input = sum(k.input_bytes for k in kernels)
+    total_output = sum(k.output_bytes for k in kernels)
+    assert accelerator.backbone.bytes_read() >= total_input
+    # Outputs are flushed (possibly after the makespan) by Storengine.
+    assert accelerator.flashvisor.pending_flush_bytes == 0
+    assert accelerator.backbone.bytes_written() >= total_output
+    assert report.scheduler_stats["screens_executed"] == \
+        sum(k.screen_count() for k in kernels)
+
+
+def test_dynamic_scheduler_balances_instances_across_workers():
+    kernels = homogeneous_workload("GESUM", instances=6, input_scale=SCALE)
+    report = run_flashabacus(kernels, "InterDy", "GESUM")
+    busy = [u for u in report.per_lwp_utilization if u > 0.1]
+    assert len(busy) == 6
+
+
+def test_static_scheduler_uses_single_worker_for_one_app():
+    kernels = homogeneous_workload("GESUM", instances=4, input_scale=SCALE)
+    report = run_flashabacus(kernels, "InterSt", "GESUM")
+    busy = [u for u in report.per_lwp_utilization if u > 0.1]
+    assert len(busy) == 1
+
+
+def test_out_of_order_beats_in_order_for_serial_microblock_workloads():
+    in_order = run_flashabacus(
+        homogeneous_workload("ATAX", instances=6, input_scale=SCALE),
+        "IntraIo", "ATAX")
+    out_of_order = run_flashabacus(
+        homogeneous_workload("ATAX", instances=6, input_scale=SCALE),
+        "IntraO3", "ATAX")
+    assert out_of_order.makespan_s < in_order.makespan_s
+
+
+def test_heterogeneous_mix_runs_on_all_schedulers():
+    for scheduler in ("InterSt", "InterDy", "IntraIo", "IntraO3"):
+        kernels = heterogeneous_workload("MX2", instances_per_kernel=1,
+                                         input_scale=SCALE)
+        report = run_flashabacus(kernels, scheduler, "MX2")
+        assert len(report.completion_times) == len(kernels)
+
+
+def test_power_series_collected_when_requested():
+    kernels = homogeneous_workload("MVT", instances=2, input_scale=SCALE)
+    report = run_flashabacus(kernels, "IntraO3", "MVT",
+                             track_power_series=True)
+    assert report.power_series is not None
+    assert len(report.power_series) > 2
+    assert max(report.power_series.values()) > 0
+
+
+def test_empty_workload_rejected():
+    accelerator = FlashAbacusAccelerator()
+    with pytest.raises(ValueError):
+        accelerator.run_workload([], "empty")
+
+
+def test_management_cores_never_execute_screens():
+    accelerator = FlashAbacusAccelerator(scheduler="IntraO3")
+    kernels = homogeneous_workload("ATAX", instances=2, input_scale=SCALE)
+    accelerator.run_workload(kernels, "ATAX")
+    assert accelerator.cluster.flashvisor_lwp.screens_executed == 0
+    assert accelerator.cluster.storengine_lwp.screens_executed == 0
+    executed = sum(w.screens_executed for w in accelerator.cluster.workers)
+    assert executed == sum(k.screen_count() for k in kernels)

@@ -1,0 +1,154 @@
+"""Unit tests for Flashvisor: translation, protection, and timed mapping."""
+
+import pytest
+
+from repro.core.flashvisor import Flashvisor
+from repro.core.kernel import build_kernel
+from repro.flash.backbone import FlashBackbone
+from repro.hw.interconnect import Interconnect
+from repro.hw.lwp import LWPCluster
+from repro.hw.memory import DDR3L, Scratchpad
+from repro.hw.power import EnergyAccountant
+from repro.sim import Environment
+
+from conftest import run_process
+
+
+@pytest.fixture
+def flashvisor_setup(spec):
+    env = Environment()
+    energy = EnergyAccountant()
+    cluster = LWPCluster(env, spec.lwp, energy)
+    ddr = DDR3L(env, spec.memory, energy)
+    scratchpad = Scratchpad(env, spec.memory, energy)
+    interconnect = Interconnect(env, spec.interconnect)
+    backbone = FlashBackbone(env, spec.flash, energy)
+    flashvisor = Flashvisor(env, cluster.flashvisor_lwp, backbone, ddr,
+                            scratchpad, interconnect.new_queue("fv"), energy)
+    return env, flashvisor, backbone, energy
+
+
+def make_kernel(input_bytes=1024 * 1024, output_bytes=1024):
+    return build_kernel("k", total_instructions=1e6, input_bytes=input_bytes,
+                        output_bytes=output_bytes, microblock_count=1,
+                        serial_microblocks=0, screens_per_microblock=1)
+
+
+# --------------------------------------------------------------------------- #
+# Pure translation logic                                                       #
+# --------------------------------------------------------------------------- #
+def test_translate_read_maps_unmapped_groups_on_first_use(flashvisor_setup):
+    _env, flashvisor, _backbone, _energy = flashvisor_setup
+    groups = flashvisor.translate_read(0, 256 * 1024)
+    assert len(groups) == 4          # 256 KB / 64 KB page groups
+    # Repeating the translation returns the same physical groups.
+    assert flashvisor.translate_read(0, 256 * 1024) == groups
+
+
+def test_translate_write_allocates_fresh_groups(flashvisor_setup):
+    _env, flashvisor, _backbone, _energy = flashvisor_setup
+    first = flashvisor.translate_write(0, 128 * 1024)
+    second = flashvisor.translate_write(0, 128 * 1024)
+    assert first != second           # log-structured: new physical groups
+    # The mapping table now points at the second allocation.
+    current = [flashvisor.mapping.lookup(g)
+               for g in range(len(second))]
+    assert current == second
+
+
+def test_translation_counts_are_tracked(flashvisor_setup):
+    _env, flashvisor, _backbone, _energy = flashvisor_setup
+    flashvisor.translate_read(0, 64 * 1024)
+    flashvisor.translate_write(16384, 64 * 1024)
+    assert flashvisor.stats.translations == 2
+
+
+def test_mapping_table_fits_in_scratchpad(flashvisor_setup):
+    _env, flashvisor, _backbone, _energy = flashvisor_setup
+    # Paper: ~2 MB mapping for the 32 GB backbone, within the 4 MB scratchpad.
+    assert flashvisor.mapping_table_bytes() == 2 * 1024 * 1024
+    assert flashvisor.scratchpad.holds("flashvisor.mapping_table")
+
+
+# --------------------------------------------------------------------------- #
+# Timed mapping operations                                                     #
+# --------------------------------------------------------------------------- #
+def test_map_for_read_brings_data_into_ddr(flashvisor_setup):
+    env, flashvisor, backbone, energy = flashvisor_setup
+    kernel = make_kernel(input_bytes=4 * 1024 * 1024)
+
+    result = run_process(env, flashvisor.map_for_read(kernel, 0,
+                                                      kernel.input_bytes))
+    assert result == kernel.input_bytes
+    assert backbone.bulk_bytes_read == kernel.input_bytes
+    assert flashvisor.ddr.bytes_written == kernel.input_bytes
+    assert flashvisor.stats.read_requests == 1
+    assert env.now > backbone.bulk_read_time(kernel.input_bytes)
+    assert energy.breakdown.storage_access > 0
+
+
+def test_map_for_write_buffers_in_ddr_without_flash_program(flashvisor_setup):
+    env, flashvisor, backbone, _energy = flashvisor_setup
+    kernel = make_kernel()
+
+    result = run_process(env, flashvisor.map_for_write(kernel, 1 << 20,
+                                                       512 * 1024))
+    assert result == 512 * 1024
+    assert flashvisor.pending_flush_bytes == 512 * 1024
+    # The program itself is deferred to Storengine.
+    assert backbone.bulk_bytes_written == 0
+
+
+def test_map_zero_bytes_is_a_noop(flashvisor_setup):
+    env, flashvisor, _backbone, _energy = flashvisor_setup
+    kernel = make_kernel()
+    assert run_process(env, flashvisor.map_for_read(kernel, 0, 0)) == 0
+    assert flashvisor.stats.read_requests == 0
+
+
+def test_releases_range_lock_after_mapping(flashvisor_setup):
+    env, flashvisor, _backbone, _energy = flashvisor_setup
+    kernel = make_kernel()
+    run_process(env, flashvisor.map_for_read(kernel, 0, 128 * 1024))
+    assert len(flashvisor.range_lock) == 0
+
+
+def test_conflicting_write_mappings_serialize(flashvisor_setup):
+    env, flashvisor, _backbone, _energy = flashvisor_setup
+    kernel_a = make_kernel()
+    kernel_b = make_kernel()
+    order = []
+
+    def writer(env, kernel, tag):
+        yield from flashvisor.map_for_write(kernel, 0, 128 * 1024)
+        order.append((tag, env.now))
+
+    env.process(writer(env, kernel_a, "a"))
+    env.process(writer(env, kernel_b, "b"))
+    env.run()
+    assert len(order) == 2
+    assert flashvisor.stats.lock_conflicts > 0
+    # The second writer must finish strictly after the first.
+    assert order[1][1] > order[0][1]
+
+
+def test_concurrent_readers_of_shared_input_do_not_conflict(flashvisor_setup):
+    env, flashvisor, _backbone, _energy = flashvisor_setup
+    kernel_a = make_kernel()
+    kernel_b = make_kernel()
+
+    def reader(env, kernel):
+        yield from flashvisor.map_for_read(kernel, 0, 256 * 1024)
+
+    env.process(reader(env, kernel_a))
+    env.process(reader(env, kernel_b))
+    env.run()
+    assert flashvisor.stats.lock_conflicts == 0
+    assert flashvisor.stats.read_requests == 2
+
+
+def test_flashvisor_lwp_charged_for_translation(flashvisor_setup):
+    env, flashvisor, _backbone, _energy = flashvisor_setup
+    kernel = make_kernel(input_bytes=16 * 1024 * 1024)
+    run_process(env, flashvisor.map_for_read(kernel, 0, kernel.input_bytes))
+    assert flashvisor.lwp.busy_time() > 0

@@ -1,0 +1,147 @@
+"""Unit and property-based tests for Flashvisor's range lock."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.range_lock import (
+    READ,
+    WRITE,
+    LockedRange,
+    RangeLock,
+    RangeLockConflict,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Basic semantics                                                              #
+# --------------------------------------------------------------------------- #
+def test_read_read_overlap_allowed():
+    lock = RangeLock()
+    assert lock.try_acquire(0, 10, READ, owner=1) is None
+    assert lock.try_acquire(5, 15, READ, owner=2) is None
+    assert len(lock) == 2
+
+
+def test_write_blocks_overlapping_read():
+    lock = RangeLock()
+    lock.acquire(0, 10, WRITE, owner=1)
+    conflict = lock.try_acquire(5, 15, READ, owner=2)
+    assert conflict is not None
+    assert conflict.conflicting.owner == 1
+
+
+def test_read_blocks_overlapping_write():
+    lock = RangeLock()
+    lock.acquire(0, 10, READ, owner=1)
+    assert lock.try_acquire(10, 20, WRITE, owner=2) is not None
+    # Disjoint write is fine.
+    assert lock.try_acquire(11, 20, WRITE, owner=2) is None
+
+
+def test_write_write_overlap_blocked():
+    lock = RangeLock()
+    lock.acquire(0, 10, WRITE, owner=1)
+    with pytest.raises(RangeLockConflict):
+        lock.acquire(3, 4, WRITE, owner=2)
+
+
+def test_release_unblocks_waiters():
+    lock = RangeLock()
+    lock.acquire(0, 10, WRITE, owner=1)
+    assert lock.try_acquire(0, 10, WRITE, owner=2) is not None
+    assert lock.release(0, 10, owner=1)
+    assert lock.try_acquire(0, 10, WRITE, owner=2) is None
+
+
+def test_release_requires_exact_match():
+    lock = RangeLock()
+    lock.acquire(0, 10, READ, owner=1)
+    assert not lock.release(0, 9, owner=1)
+    assert not lock.release(0, 10, owner=2)
+    assert lock.release(0, 10, owner=1)
+    assert len(lock) == 0
+
+
+def test_release_owner_drops_everything_held_by_kernel():
+    lock = RangeLock()
+    lock.acquire(0, 5, READ, owner=7)
+    lock.acquire(10, 15, WRITE, owner=7)
+    lock.acquire(20, 25, READ, owner=8)
+    assert lock.release_owner(7) == 2
+    assert len(lock) == 1
+    assert lock.ranges()[0].owner == 8
+
+
+def test_invalid_range_and_mode_rejected():
+    with pytest.raises(ValueError):
+        LockedRange(start=5, end=4, mode=READ, owner=0)
+    with pytest.raises(ValueError):
+        LockedRange(start=0, end=1, mode="exclusive", owner=0)
+
+
+def test_conflicts_with_lists_blocking_ranges():
+    lock = RangeLock()
+    lock.acquire(0, 10, WRITE, owner=1)
+    lock.acquire(20, 30, READ, owner=2)
+    blocking = lock.conflicts_with(5, 25, READ)
+    owners = {r.owner for r in blocking}
+    assert 1 in owners          # the write blocks a read
+    assert 2 not in owners      # read/read never blocks
+
+
+def test_adjacent_ranges_do_not_conflict():
+    lock = RangeLock()
+    lock.acquire(0, 9, WRITE, owner=1)
+    assert lock.try_acquire(10, 19, WRITE, owner=2) is None
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests: red-black + interval invariants                        #
+# --------------------------------------------------------------------------- #
+range_strategy = st.tuples(st.integers(min_value=0, max_value=500),
+                           st.integers(min_value=0, max_value=50),
+                           st.sampled_from([READ, WRITE]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(range_strategy, min_size=1, max_size=40))
+def test_tree_invariants_hold_after_arbitrary_inserts(ranges):
+    lock = RangeLock()
+    for owner, (start, length, mode) in enumerate(ranges):
+        lock.try_acquire(start, start + length, mode, owner)
+        lock.check_invariants()
+    starts = [r.start for r in lock.ranges()]
+    assert starts == sorted(starts)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(range_strategy, min_size=1, max_size=30),
+       st.randoms(use_true_random=False))
+def test_granted_locks_never_conflict(ranges, rng):
+    """Whatever the request order, granted locks are mutually compatible."""
+    lock = RangeLock()
+    granted = []
+    for owner, (start, length, mode) in enumerate(ranges):
+        if lock.try_acquire(start, start + length, mode, owner) is None:
+            granted.append(LockedRange(start, start + length, mode, owner))
+    for i, a in enumerate(granted):
+        for b in granted[i + 1:]:
+            if a.overlaps(b.start, b.end):
+                assert a.mode == READ and b.mode == READ
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(range_strategy, min_size=1, max_size=25))
+def test_release_restores_acquirability(ranges):
+    lock = RangeLock()
+    acquired = []
+    for owner, (start, length, mode) in enumerate(ranges):
+        if lock.try_acquire(start, start + length, mode, owner) is None:
+            acquired.append((start, start + length, mode, owner))
+    for start, end, _mode, owner in acquired:
+        assert lock.release(start, end, owner)
+    assert len(lock) == 0
+    # After releasing everything, any single range is acquirable again.
+    for start, end, mode, owner in acquired:
+        assert lock.try_acquire(start, end, mode, owner) is None
+        lock.release(start, end, owner)

@@ -1,0 +1,130 @@
+"""Unit tests for the FTL data structures: mapping table and block allocator."""
+
+import pytest
+
+from repro.flash.ftl import BlockAllocator, OutOfSpaceError, PageGroupMappingTable
+from repro.flash.geometry import FlashGeometry
+
+
+@pytest.fixture
+def geometry(tiny_flash_spec):
+    return FlashGeometry(tiny_flash_spec)
+
+
+# --------------------------------------------------------------------------- #
+# Mapping table                                                                #
+# --------------------------------------------------------------------------- #
+def test_mapping_lookup_update_invalidate(geometry):
+    table = PageGroupMappingTable(geometry)
+    assert table.lookup(5) is None
+    assert table.update(5, 100) is None
+    assert table.lookup(5) == 100
+    assert table.update(5, 200) == 100
+    assert table.reverse_lookup(200) == 5
+    assert table.invalidate(5) == 200
+    assert table.lookup(5) is None
+    assert len(table) == 0
+
+
+def test_mapping_rejects_negative_logical_group(geometry):
+    table = PageGroupMappingTable(geometry)
+    with pytest.raises(ValueError):
+        table.update(-1, 0)
+
+
+def test_mapping_table_size_matches_paper_arithmetic(spec):
+    """Paper: 32 GB with 64 KB page groups needs about 2 MB of mapping."""
+    geometry = FlashGeometry(spec.flash)
+    table = PageGroupMappingTable(geometry)
+    assert table.size_bytes() == geometry.page_groups_total * 4
+    assert table.size_bytes() == 2 * 1024 * 1024
+    # It must fit in the 4 MB scratchpad alongside other metadata.
+    assert table.size_bytes() <= 4 * 1024 * 1024
+
+
+def test_mapping_mapped_groups_sorted(geometry):
+    table = PageGroupMappingTable(geometry)
+    for logical in (9, 3, 7):
+        table.update(logical, logical * 10)
+    assert table.mapped_groups() == [3, 7, 9]
+
+
+# --------------------------------------------------------------------------- #
+# Block allocator                                                              #
+# --------------------------------------------------------------------------- #
+def test_allocator_hands_out_sequential_groups(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    groups = [allocator.allocate_group() for _ in range(10)]
+    assert groups == list(range(10))
+    assert allocator.groups_written == 10
+
+
+def test_allocator_free_count_decreases(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    before = allocator.free_group_count
+    allocator.allocate_group()
+    assert allocator.free_group_count == before - 1
+
+
+def test_allocator_moves_full_rows_to_used_pool(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    for _ in range(allocator.groups_per_row):
+        allocator.allocate_group()
+    assert allocator.used_rows == [0]
+
+
+def test_allocator_out_of_space(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    total = geometry.page_groups_total
+    for _ in range(total):
+        allocator.allocate_group()
+    with pytest.raises(OutOfSpaceError):
+        allocator.allocate_group()
+
+
+def test_allocator_invalidate_and_round_robin_victim(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    for _ in range(2 * allocator.groups_per_row):
+        allocator.allocate_group()
+    # Invalidate everything in row 1, nothing in row 0.
+    for group in range(allocator.groups_per_row, 2 * allocator.groups_per_row):
+        allocator.invalidate_group(group)
+    # Round robin ignores validity: the first used row is picked first.
+    assert allocator.pick_victim_round_robin() == 0
+    assert allocator.pick_victim_round_robin() == 1
+    assert allocator.pick_victim_round_robin() is None
+
+
+def test_allocator_greedy_victim_prefers_fewest_valid(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    for _ in range(2 * allocator.groups_per_row):
+        allocator.allocate_group()
+    for group in range(allocator.groups_per_row, 2 * allocator.groups_per_row):
+        allocator.invalidate_group(group)
+    assert allocator.pick_victim_greedy() == 1
+
+
+def test_allocator_reclaim_returns_row_and_counts_erase(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.1)
+    for _ in range(allocator.groups_per_row):
+        allocator.allocate_group()
+    victim = allocator.pick_victim_round_robin()
+    free_before = len(allocator.free_rows)
+    allocator.reclaim_row(victim)
+    assert len(allocator.free_rows) == free_before + 1
+    assert allocator.rows[victim].erase_count == 1
+    assert allocator.wear_spread() == 1
+
+
+def test_allocator_needs_gc_when_free_pool_shrinks(geometry):
+    allocator = BlockAllocator(geometry, overprovision=0.2)
+    assert not allocator.needs_gc()
+    usable_rows = allocator.total_rows - allocator.reserved_rows
+    for _ in range(usable_rows * allocator.groups_per_row):
+        allocator.allocate_group()
+    assert allocator.needs_gc()
+
+
+def test_allocator_rejects_bad_overprovision(geometry):
+    with pytest.raises(ValueError):
+        BlockAllocator(geometry, overprovision=1.0)

@@ -1,0 +1,266 @@
+"""Unit tests for the hardware substrate: spec, LWP, memory, interconnect, PCIe."""
+
+import pytest
+
+from repro.hw import (
+    COMPUTATION,
+    DATA_MOVEMENT,
+    CapacityError,
+    DDR3L,
+    EnergyAccountant,
+    Interconnect,
+    LWP,
+    LWPCluster,
+    Message,
+    PCIeLink,
+    Scratchpad,
+    prototype_spec,
+    GB,
+    KB,
+    MB,
+)
+from repro.sim import Environment
+
+from conftest import run_process
+
+
+# --------------------------------------------------------------------------- #
+# Specification (Table 1)                                                      #
+# --------------------------------------------------------------------------- #
+def test_table1_lwp_row(spec):
+    assert spec.lwp.count == 8
+    assert spec.lwp.frequency_hz == pytest.approx(1e9)
+    assert spec.lwp.power_per_core_w == pytest.approx(0.8)
+    assert spec.lwp.functional_units == 8
+    assert spec.lwp.multiply_units == 2
+    assert spec.lwp.general_units == 4
+    assert spec.lwp.load_store_units == 2
+
+
+def test_table1_memory_rows(spec):
+    assert spec.memory.ddr_capacity_bytes == 1 * GB
+    assert spec.memory.ddr_bandwidth == pytest.approx(6.4 * GB)
+    assert spec.memory.scratchpad_capacity_bytes == 4 * MB
+    assert spec.memory.scratchpad_banks == 8
+
+
+def test_table1_flash_capacity_is_32gb(spec):
+    assert spec.flash.total_dies == 32
+    assert spec.flash.capacity_bytes == 32 * GB
+    assert spec.flash.page_bytes == 8 * KB
+    # 4 channels * 2 planes * 8KB = 64KB page group (Section 4.3).
+    assert spec.flash.page_group_bytes == 64 * KB
+
+
+def test_table1_page_latencies(spec):
+    assert spec.flash.page_read_latency_s == pytest.approx(81e-6)
+    assert spec.flash.page_program_latency_s == pytest.approx(2.6e-3)
+
+
+def test_table1_rows_render(spec):
+    rows = spec.table1_rows()
+    names = [row[0] for row in rows]
+    assert names == ["LWP", "L1/L2 cache", "Scratchpad", "Memory", "SSD",
+                     "PCIe", "Tier-1 crossbar", "Tier-2 crossbar"]
+    ssd_row = dict(zip(names, rows))["SSD"]
+    assert "32GB" in ssd_row[1]
+
+
+# --------------------------------------------------------------------------- #
+# LWP timing model                                                             #
+# --------------------------------------------------------------------------- #
+def test_lwp_estimate_scales_with_instructions(env, spec):
+    lwp = LWP(env, spec.lwp, 0)
+    small = lwp.estimate(1e6, load_store_fraction=0.3)
+    large = lwp.estimate(2e6, load_store_fraction=0.3)
+    assert large.seconds == pytest.approx(2 * small.seconds)
+
+
+def test_lwp_estimate_ld_st_heavy_code_is_slower(env, spec):
+    lwp = LWP(env, spec.lwp, 0)
+    balanced = lwp.estimate(1e9, load_store_fraction=0.3)
+    memory_bound = lwp.estimate(1e9, load_store_fraction=0.9)
+    assert memory_bound.seconds > balanced.seconds
+
+
+def test_lwp_estimate_rejects_bad_inputs(env, spec):
+    lwp = LWP(env, spec.lwp, 0)
+    with pytest.raises(ValueError):
+        lwp.estimate(-1)
+    with pytest.raises(ValueError):
+        lwp.estimate(1, load_store_fraction=1.5)
+    with pytest.raises(ValueError):
+        lwp.estimate(1, parallelism=0)
+
+
+def test_lwp_compute_occupies_core_and_charges_energy(env, spec):
+    energy = EnergyAccountant()
+    lwp = LWP(env, spec.lwp, 3, energy=energy)
+    est = run_process(env, lwp.compute(4e9, load_store_fraction=0.3))
+    assert env.now == pytest.approx(est.seconds)
+    assert lwp.busy_time() == pytest.approx(est.seconds)
+    assert lwp.utilization() == pytest.approx(1.0)
+    expected_joules = spec.lwp.power_per_core_w * est.seconds
+    assert energy.by_component["lwp3"] == pytest.approx(expected_joules)
+    assert energy.breakdown.computation == pytest.approx(expected_joules)
+
+
+def test_lwp_utilization_with_idle_time(env, spec):
+    lwp = LWP(env, spec.lwp, 0)
+
+    def busy_then_idle(env):
+        yield from lwp.busy_for(2.0)
+        yield env.timeout(2.0)
+
+    run_process(env, busy_then_idle(env))
+    assert lwp.utilization() == pytest.approx(0.5)
+
+
+def test_cluster_reserves_flashvisor_and_storengine(env, spec):
+    energy = EnergyAccountant()
+    cluster = LWPCluster(env, spec.lwp, energy)
+    assert len(cluster) == 8
+    assert cluster.flashvisor_lwp is not None
+    assert cluster.storengine_lwp is not None
+    assert len(cluster.workers) == 6
+    roles = {lwp.role for lwp in cluster}
+    assert roles == {"flashvisor", "storengine", "worker"}
+
+
+def test_cluster_without_reserved_cores_all_workers(env, spec):
+    cluster = LWPCluster(env, spec.lwp, reserve_management_cores=False)
+    assert len(cluster.workers) == 8
+    assert cluster.flashvisor_lwp is None
+
+
+def test_cluster_activity_tracks_functional_units(env, spec):
+    cluster = LWPCluster(env, spec.lwp)
+    worker = cluster.workers[0]
+
+    def run(env):
+        yield from worker.compute(1e9, load_store_fraction=0.3)
+
+    run_process(env, run(env))
+    assert cluster.activity.active == 0
+    assert cluster.activity.mean() > 0
+    assert len(cluster.activity.series) >= 3
+
+
+# --------------------------------------------------------------------------- #
+# Memory devices                                                               #
+# --------------------------------------------------------------------------- #
+def test_ddr_allocation_and_capacity(env, spec):
+    ddr = DDR3L(env, spec.memory)
+    ddr.allocate("input", 512 * MB)
+    assert ddr.holds("input")
+    assert ddr.free_bytes == spec.memory.ddr_capacity_bytes - 512 * MB
+    with pytest.raises(CapacityError):
+        ddr.allocate("too_big", 600 * MB)
+    assert ddr.free("input") == 512 * MB
+    assert not ddr.holds("input")
+
+
+def test_ddr_timed_read_write(env, spec):
+    ddr = DDR3L(env, spec.memory)
+
+    def mover(env):
+        yield from ddr.write(64 * MB)
+        yield from ddr.read(64 * MB)
+
+    run_process(env, mover(env))
+    expected = 2 * (spec.memory.ddr_latency_s
+                    + 64 * MB / spec.memory.ddr_bandwidth)
+    assert env.now == pytest.approx(expected)
+    assert ddr.bytes_written == 64 * MB
+    assert ddr.bytes_read == 64 * MB
+
+
+def test_scratchpad_is_faster_than_ddr(env, spec):
+    ddr = DDR3L(env, spec.memory)
+    scratchpad = Scratchpad(env, spec.memory)
+    assert scratchpad.access_time(1 * MB) < ddr.access_time(1 * MB)
+
+
+# --------------------------------------------------------------------------- #
+# Interconnect + message queues                                                #
+# --------------------------------------------------------------------------- #
+def test_crossbar_tiers_have_expected_relative_bandwidth(env, spec):
+    from repro.hw.interconnect import Crossbar
+    assert spec.interconnect.tier1_bandwidth > spec.interconnect.tier2_bandwidth
+    # With a single port each, the tier-1 crossbar moves the same payload
+    # faster than the tier-2 crossbar, per the Table 1 bandwidths.
+    tier1 = Crossbar(env, "t1", spec.interconnect.tier1_bandwidth,
+                     spec.interconnect.tier1_latency_s, ports=1)
+    tier2 = Crossbar(env, "t2", spec.interconnect.tier2_bandwidth,
+                     spec.interconnect.tier2_latency_s, ports=1)
+
+    def mover(env):
+        yield from tier1.transfer(16 * MB)
+        t1 = env.now
+        yield from tier2.transfer(16 * MB)
+        return t1, env.now - t1
+
+    t1_time, t2_time = run_process(env, mover(env))
+    assert t2_time > t1_time
+    assert tier1.bytes_moved() == 16 * MB
+    assert tier1.utilization() > 0
+
+
+def test_message_queue_delivers_in_order(env, spec):
+    interconnect = Interconnect(env, spec.interconnect)
+    queue = interconnect.new_queue("test")
+    received = []
+
+    def sender(env):
+        yield from queue.send(Message(sender="w0", kind="map", payload=1))
+        yield from queue.send(Message(sender="w1", kind="map", payload=2))
+
+    def receiver(env):
+        for _ in range(2):
+            message = yield from queue.receive()
+            received.append(message.payload)
+
+    env.process(sender(env))
+    env.process(receiver(env))
+    env.run()
+    assert received == [1, 2]
+    assert queue.messages_sent == 2
+    assert queue.messages_received == 2
+
+
+def test_message_queue_latency_applied(env, spec):
+    interconnect = Interconnect(env, spec.interconnect)
+    queue = interconnect.new_queue("latency")
+
+    def sender(env):
+        yield from queue.send(Message(sender="w", kind="k"))
+
+    run_process(env, sender(env))
+    assert env.now == pytest.approx(spec.interconnect.message_queue_latency_s)
+
+
+# --------------------------------------------------------------------------- #
+# PCIe                                                                         #
+# --------------------------------------------------------------------------- #
+def test_pcie_transfer_time_and_energy(env, spec):
+    energy = EnergyAccountant()
+    pcie = PCIeLink(env, spec.pcie, energy)
+
+    def mover(env):
+        yield from pcie.transfer(512 * MB)
+
+    run_process(env, mover(env))
+    expected = spec.pcie.latency_s + 512 * MB / spec.pcie.bandwidth
+    assert env.now == pytest.approx(expected)
+    assert pcie.bytes_moved == 512 * MB
+    assert energy.breakdown.data_movement > 0
+
+
+def test_pcie_interrupt_counts(env, spec):
+    pcie = PCIeLink(env, spec.pcie)
+
+    def irq(env):
+        yield from pcie.interrupt()
+
+    run_process(env, irq(env))
+    assert pcie.interrupts_delivered == 1

@@ -1,0 +1,289 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [2.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    log = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(proc(env, "slow", 3.0))
+    env.process(proc(env, "fast", 1.0))
+    env.run()
+    assert log == [(1.0, "fast"), (3.0, "slow")]
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for _ in range(3):
+            yield env.timeout(1.0)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_before_future_events():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(10.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert seen == []
+    assert env.now == 5.0
+    env.run()
+    assert seen == [10.0]
+
+
+def test_run_backwards_rejected():
+    env = Environment()
+    env.process(iter([]).__iter__) if False else None
+    env._now = 4.0
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_event_succeed_resumes_waiter_with_value():
+    env = Environment()
+    received = []
+    gate = env.event()
+
+    def waiter(env):
+        value = yield gate
+        received.append(value)
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        gate.succeed("payload")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert received == ["payload"]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    caught = []
+    gate = env.event()
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(env, results):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    results = []
+    env.process(parent(env, results))
+    env.run()
+    assert results == [42]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    finished = []
+
+    def parent(env):
+        t1 = env.timeout(1.0)
+        t2 = env.timeout(3.0)
+        yield env.all_of([t1, t2])
+        finished.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert finished == [3.0]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    finished = []
+
+    def parent(env):
+        t1 = env.timeout(1.0)
+        t2 = env.timeout(3.0)
+        yield env.any_of([t1, t2])
+        finished.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert finished == [1.0]
+
+
+def test_condition_operators():
+    env = Environment()
+    t1 = env.timeout(1.0)
+    t2 = env.timeout(2.0)
+    assert isinstance(t1 & t2, AllOf)
+    assert isinstance(t1 | t2, AnyOf)
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+    finished = []
+
+    def parent(env):
+        yield env.all_of([])
+        finished.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert finished == [0.0]
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    outcomes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            outcomes.append(("interrupted", env.now, interrupt.cause))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(2.0)
+        victim_proc.interrupt(cause="preempt")
+
+    victim_proc = env.process(victim(env))
+    env.process(attacker(env, victim_proc))
+    env.run()
+    assert outcomes == [("interrupted", 2.0, "preempt")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.5)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    proc = env.process(bad(env))
+    env.run()
+    assert not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_step_without_events_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_waiting_on_already_processed_event_resumes_immediately():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+    received = []
+
+    def late_waiter(env):
+        yield env.timeout(5.0)
+        value = yield gate
+        received.append((env.now, value))
+
+    env.process(late_waiter(env))
+    env.run()
+    assert received == [(5.0, "early")]

@@ -1,0 +1,231 @@
+"""Unit tests for simulation resources: Resource, Store, BandwidthPipe."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.resources import BandwidthPipe, Resource, Store
+
+
+# --------------------------------------------------------------------------- #
+# Resource                                                                     #
+# --------------------------------------------------------------------------- #
+def test_resource_serializes_when_capacity_one():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, name, hold):
+        with res.request() as req:
+            yield req
+            log.append((env.now, name, "start"))
+            yield env.timeout(hold)
+        log.append((env.now, name, "end"))
+
+    env.process(user(env, "a", 2.0))
+    env.process(user(env, "b", 1.0))
+    env.run()
+    assert log == [
+        (0.0, "a", "start"),
+        (2.0, "a", "end"),
+        (2.0, "b", "start"),
+        (3.0, "b", "end"),
+    ]
+
+
+def test_resource_capacity_two_allows_two_concurrent_users():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    starts = []
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            starts.append(env.now)
+            yield env.timeout(1.0)
+
+    for _ in range(3):
+        env.process(user(env))
+    env.run()
+    assert starts == [0.0, 0.0, 1.0]
+
+
+def test_resource_priority_orders_waiters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    def waiter(env, name, priority, delay):
+        yield env.timeout(delay)
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(0.1)
+
+    env.process(holder(env))
+    env.process(waiter(env, "low", 5, 0.1))
+    env.process(waiter(env, "high", 0, 0.2))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_utilization_reflects_busy_fraction():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(3.0)
+        yield env.timeout(1.0)
+
+    env.process(user(env))
+    env.run()
+    assert res.utilization() == pytest.approx(0.75)
+
+
+def test_release_unqueued_request_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    res.release(req)  # second release must not blow up
+    assert res.count == 0
+
+
+# --------------------------------------------------------------------------- #
+# Store                                                                        #
+# --------------------------------------------------------------------------- #
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [(4.0, "late")]
+
+
+def test_bounded_store_applies_backpressure():
+    env = Environment()
+    store = Store(env, capacity=1)
+    put_times = []
+
+    def producer(env):
+        for i in range(2):
+            yield store.put(i)
+            put_times.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert put_times[0] == 0.0
+    assert put_times[1] == 5.0
+
+
+def test_store_len_tracks_buffered_items():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(producer(env))
+    env.run()
+    assert len(store) == 2
+
+
+# --------------------------------------------------------------------------- #
+# BandwidthPipe                                                                #
+# --------------------------------------------------------------------------- #
+def test_pipe_occupancy_time_includes_latency_and_bandwidth():
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth_bytes_per_s=100.0, latency_s=1.0)
+    assert pipe.occupancy_time(200) == pytest.approx(3.0)
+
+
+def test_pipe_transfers_serialize():
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth_bytes_per_s=100.0)
+    ends = []
+
+    def mover(env):
+        record = yield from pipe.transfer(100)
+        ends.append(record.end)
+
+    env.process(mover(env))
+    env.process(mover(env))
+    env.run()
+    assert ends == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert pipe.bytes_moved == 200
+
+
+def test_pipe_rejects_bad_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        BandwidthPipe(env, bandwidth_bytes_per_s=0.0)
+    with pytest.raises(ValueError):
+        BandwidthPipe(env, bandwidth_bytes_per_s=1.0, latency_s=-1.0)
+    pipe = BandwidthPipe(env, bandwidth_bytes_per_s=1.0)
+    with pytest.raises(ValueError):
+        pipe.occupancy_time(-1)
+
+
+def test_pipe_records_transfers():
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth_bytes_per_s=1000.0, latency_s=0.5)
+
+    def mover(env):
+        yield from pipe.transfer(500)
+
+    env.process(mover(env))
+    env.run()
+    assert len(pipe.records) == 1
+    record = pipe.records[0]
+    assert record.num_bytes == 500
+    assert record.duration == pytest.approx(1.0)

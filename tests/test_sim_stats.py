@@ -1,0 +1,169 @@
+"""Unit tests for the statistics accumulators."""
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    IntervalAccumulator,
+    SummaryStats,
+    TimeSeries,
+    TimeWeightedStat,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Counter                                                                      #
+# --------------------------------------------------------------------------- #
+def test_counter_accumulates_by_name():
+    counter = Counter()
+    counter.add("reads")
+    counter.add("reads", 2)
+    counter.add("writes", 0.5)
+    assert counter.get("reads") == 3
+    assert counter.get("writes") == 0.5
+    assert counter.get("missing") == 0.0
+    assert counter.as_dict() == {"reads": 3, "writes": 0.5}
+
+
+def test_counter_rejects_negative_increments():
+    counter = Counter()
+    with pytest.raises(ValueError):
+        counter.add("x", -1)
+
+
+# --------------------------------------------------------------------------- #
+# IntervalAccumulator                                                          #
+# --------------------------------------------------------------------------- #
+def test_interval_accumulator_basic_busy_time():
+    acc = IntervalAccumulator()
+    acc.begin(1.0)
+    acc.end(3.0)
+    acc.begin(5.0)
+    acc.end(6.0)
+    assert acc.busy_time() == pytest.approx(3.0)
+    assert acc.utilization(10.0) == pytest.approx(0.3)
+
+
+def test_interval_accumulator_nested_intervals_count_once():
+    acc = IntervalAccumulator()
+    acc.begin(0.0)
+    acc.begin(1.0)
+    acc.end(2.0)
+    acc.end(4.0)
+    assert acc.busy_time() == pytest.approx(4.0)
+
+
+def test_interval_accumulator_open_interval_counts_up_to_now():
+    acc = IntervalAccumulator()
+    acc.begin(2.0)
+    assert acc.busy_time(now=5.0) == pytest.approx(3.0)
+
+
+def test_interval_accumulator_end_without_begin():
+    acc = IntervalAccumulator()
+    with pytest.raises(ValueError):
+        acc.end(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# TimeWeightedStat                                                             #
+# --------------------------------------------------------------------------- #
+def test_time_weighted_mean():
+    stat = TimeWeightedStat(0.0)
+    stat.update(2.0, 4.0)    # value 0 for [0,2)
+    stat.update(4.0, 0.0)    # value 4 for [2,4)
+    assert stat.mean(4.0) == pytest.approx(2.0)
+    assert stat.max == 4.0
+    assert stat.min == 0.0
+
+
+def test_time_weighted_adjust_deltas():
+    stat = TimeWeightedStat(0.0)
+    stat.adjust(1.0, +3)
+    stat.adjust(2.0, -1)
+    assert stat.value == 2
+    assert stat.max == 3
+
+
+def test_time_weighted_rejects_time_reversal():
+    stat = TimeWeightedStat(0.0)
+    stat.update(5.0, 1.0)
+    with pytest.raises(ValueError):
+        stat.update(4.0, 2.0)
+
+
+# --------------------------------------------------------------------------- #
+# TimeSeries                                                                   #
+# --------------------------------------------------------------------------- #
+def test_time_series_value_at_piecewise_constant():
+    series = TimeSeries()
+    series.record(0.0, 1.0)
+    series.record(2.0, 5.0)
+    assert series.value_at(0.5) == 1.0
+    assert series.value_at(2.0) == 5.0
+    assert series.value_at(10.0) == 5.0
+
+
+def test_time_series_requires_monotonic_times():
+    series = TimeSeries()
+    series.record(1.0, 0.0)
+    with pytest.raises(ValueError):
+        series.record(0.5, 0.0)
+
+
+def test_time_series_resample_grid():
+    series = TimeSeries()
+    series.record(0.0, 0.0)
+    series.record(1.0, 10.0)
+    series.record(3.0, 20.0)
+    resampled = series.resample(1.0, end=3.0)
+    assert resampled.times() == [0.0, 1.0, 2.0, 3.0]
+    assert resampled.values() == [0.0, 10.0, 10.0, 20.0]
+
+
+def test_time_series_resample_empty_and_bad_step():
+    series = TimeSeries()
+    assert len(series.resample(1.0)) == 0
+    series.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        series.resample(0.0)
+
+
+# --------------------------------------------------------------------------- #
+# SummaryStats                                                                 #
+# --------------------------------------------------------------------------- #
+def test_summary_stats_min_mean_max():
+    stats = SummaryStats([3.0, 1.0, 2.0])
+    assert stats.min == 1.0
+    assert stats.max == 3.0
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.count == 3
+    assert stats.total == pytest.approx(6.0)
+
+
+def test_summary_stats_add_keeps_sorted_percentiles():
+    stats = SummaryStats()
+    for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+        stats.add(v)
+    assert stats.percentile(0) == 1.0
+    assert stats.percentile(50) == 3.0
+    assert stats.percentile(100) == 5.0
+
+
+def test_summary_stats_cdf_points():
+    stats = SummaryStats([1.0, 2.0])
+    assert stats.cdf_points() == [(1.0, 0.5), (2.0, 1.0)]
+
+
+def test_summary_stats_empty_raises():
+    stats = SummaryStats()
+    with pytest.raises(ValueError):
+        _ = stats.min
+    with pytest.raises(ValueError):
+        stats.percentile(50)
+
+
+def test_summary_stats_percentile_bounds():
+    stats = SummaryStats([1.0])
+    with pytest.raises(ValueError):
+        stats.percentile(101)
