@@ -1,39 +1,7 @@
-"""Shared configuration for the benchmark harness.
+"""Benchmark-harness conftest (intentionally bare).
 
-Every benchmark regenerates one table or figure of the paper.  The
-simulations are deterministic, so each benchmark runs its experiment
-exactly once (``rounds=1``) and the measured wall-clock time is simply how
-long the simulation of that experiment takes.  The printed rows are the
-reproduction counterparts of the paper's plots; EXPERIMENTS.md records them.
-
-The heterogeneous experiments default to two instances per kernel (the
-paper uses four) and the homogeneous ones to the paper's six; the workload
-*ratios* that define every conclusion are unchanged, and the instance count
-is recorded alongside each result.
+Shared constants and helpers live in :mod:`bench_common`, which the
+benchmark modules import directly; keeping nothing importable here avoids
+``from conftest import ...`` collisions with the unit test suite's
+``tests/conftest.py`` when pytest collects both directories.
 """
-
-from __future__ import annotations
-
-import pytest
-
-#: Data-set scale used by the benchmark harness.  The scheduling, energy and
-#: utilization ratios are invariant to this factor; a moderate scale keeps
-#: the full harness (every figure) within a few minutes of wall-clock time.
-BENCH_INPUT_SCALE = 0.25
-
-#: Instances per kernel for heterogeneous mixes (paper: 4).
-BENCH_MIX_INSTANCES = 2
-
-#: Instances for homogeneous workloads (paper: 6).
-BENCH_HOMOGENEOUS_INSTANCES = 6
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
-
-
-@pytest.fixture
-def bench_scale():
-    return BENCH_INPUT_SCALE

@@ -8,10 +8,11 @@ from repro.eval import (
 )
 from repro.workloads import COMPUTE_INTENSIVE, DATA_INTENSIVE, MIX_ORDER
 
-from conftest import (
+from bench_common import (
     BENCH_HOMOGENEOUS_INSTANCES,
     BENCH_INPUT_SCALE,
     BENCH_MIX_INSTANCES,
+    BENCH_ORCHESTRATOR,
     run_once,
 )
 
@@ -20,7 +21,8 @@ def test_fig10a_homogeneous_throughput(benchmark):
     """Fig. 10a: throughput for the 14 homogeneous PolyBench workloads."""
     data = run_once(benchmark, fig10a_homogeneous_throughput,
                     instances=BENCH_HOMOGENEOUS_INSTANCES,
-                    input_scale=BENCH_INPUT_SCALE)
+                    input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     print("\n" + format_comparison("Fig. 10a: homogeneous throughput", data,
                                    metric_name="MB/s"))
     # FlashAbacus beats SIMD on every data-intensive workload (paper: +144%).
@@ -51,7 +53,8 @@ def test_fig10b_heterogeneous_throughput(benchmark):
     data = run_once(benchmark, fig10b_heterogeneous_throughput,
                     mixes=tuple(MIX_ORDER),
                     instances_per_kernel=BENCH_MIX_INSTANCES,
-                    input_scale=BENCH_INPUT_SCALE)
+                    input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     print("\n" + format_comparison("Fig. 10b: heterogeneous throughput", data,
                                    metric_name="MB/s"))
     # IntraO3 is the best (or tied-best) policy for mixes (paper: +15% over

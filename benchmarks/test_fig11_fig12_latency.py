@@ -2,7 +2,7 @@
 
 from repro.eval import fig11_latency, fig12_completion_cdf, format_table
 
-from conftest import BENCH_INPUT_SCALE, run_once
+from bench_common import BENCH_INPUT_SCALE, BENCH_ORCHESTRATOR, run_once
 
 HOMOGENEOUS_SUBSET = ("ATAX", "BICG", "MVT", "SYRK", "3MM", "GEMM")
 HETEROGENEOUS_SUBSET = ("MX1", "MX5", "MX10")
@@ -21,7 +21,8 @@ def _print_latency(title, data):
 def test_fig11a_homogeneous_latency(benchmark):
     """Fig. 11a: kernel latency (normalized to SIMD) — homogeneous."""
     data = run_once(benchmark, fig11_latency, workloads=HOMOGENEOUS_SUBSET,
-                    heterogeneous=False, input_scale=BENCH_INPUT_SCALE)
+                    heterogeneous=False, input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     _print_latency("Fig. 11a: latency normalized to SIMD (homogeneous)", data)
     for workload, per_system in data.items():
         assert per_system["SIMD"]["mean"] == 1.0
@@ -37,7 +38,8 @@ def test_fig11a_homogeneous_latency(benchmark):
 def test_fig11b_heterogeneous_latency(benchmark):
     """Fig. 11b: kernel latency (normalized to SIMD) — heterogeneous."""
     data = run_once(benchmark, fig11_latency, workloads=HETEROGENEOUS_SUBSET,
-                    heterogeneous=True, input_scale=BENCH_INPUT_SCALE)
+                    heterogeneous=True, input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     _print_latency("Fig. 11b: latency normalized to SIMD (heterogeneous)",
                    data)
     for workload, per_system in data.items():
@@ -54,9 +56,11 @@ def test_fig12_completion_cdfs(benchmark):
     """Fig. 12: CDF of kernel completion times for ATAX and MX1."""
     def both():
         return (fig12_completion_cdf("ATAX", heterogeneous=False,
-                                     input_scale=BENCH_INPUT_SCALE),
+                                     input_scale=BENCH_INPUT_SCALE,
+                                     orchestrator=BENCH_ORCHESTRATOR),
                 fig12_completion_cdf("MX1", heterogeneous=True,
-                                     input_scale=BENCH_INPUT_SCALE))
+                                     input_scale=BENCH_INPUT_SCALE,
+                                     orchestrator=BENCH_ORCHESTRATOR))
 
     atax, mx1 = run_once(benchmark, both)
     for title, data in (("Fig. 12a: ATAX", atax), ("Fig. 12b: MX1", mx1)):

@@ -2,7 +2,7 @@
 
 from repro.eval import fig13_energy_breakdown, fig14_utilization, format_table
 
-from conftest import BENCH_INPUT_SCALE, run_once
+from bench_common import BENCH_INPUT_SCALE, BENCH_ORCHESTRATOR, run_once
 
 HOMOGENEOUS_SUBSET = ("ATAX", "BICG", "MVT", "GESUM", "SYRK", "3MM", "GEMM")
 HETEROGENEOUS_SUBSET = ("MX1", "MX7", "MX14")
@@ -25,7 +25,8 @@ def test_fig13a_energy_homogeneous(benchmark):
     """Fig. 13a: energy decomposition, homogeneous (normalized to SIMD)."""
     data = run_once(benchmark, fig13_energy_breakdown,
                     workloads=HOMOGENEOUS_SUBSET, heterogeneous=False,
-                    input_scale=BENCH_INPUT_SCALE)
+                    input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     _print_energy("Fig. 13a: energy breakdown normalized to SIMD", data)
     for workload, per_system in data.items():
         assert per_system["SIMD"]["total"] == 1.0
@@ -44,7 +45,8 @@ def test_fig13b_energy_heterogeneous(benchmark):
     """Fig. 13b: energy decomposition, heterogeneous mixes."""
     data = run_once(benchmark, fig13_energy_breakdown,
                     workloads=HETEROGENEOUS_SUBSET, heterogeneous=True,
-                    input_scale=BENCH_INPUT_SCALE)
+                    input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     _print_energy("Fig. 13b: energy breakdown normalized to SIMD (mixes)",
                   data)
     for workload, per_system in data.items():
@@ -58,7 +60,8 @@ def test_fig14a_utilization_homogeneous(benchmark):
     """Fig. 14a: LWP utilization, homogeneous workloads."""
     data = run_once(benchmark, fig14_utilization,
                     workloads=HOMOGENEOUS_SUBSET, heterogeneous=False,
-                    input_scale=BENCH_INPUT_SCALE)
+                    input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     rows = [(w, *[per[s] for s in ("SIMD", "InterSt", "IntraIo", "InterDy",
                                    "IntraO3")])
             for w, per in data.items()]
@@ -78,7 +81,8 @@ def test_fig14b_utilization_heterogeneous(benchmark):
     """Fig. 14b: LWP utilization, heterogeneous mixes."""
     data = run_once(benchmark, fig14_utilization,
                     workloads=HETEROGENEOUS_SUBSET, heterogeneous=True,
-                    input_scale=BENCH_INPUT_SCALE)
+                    input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     rows = [(w, *[per[s] for s in ("SIMD", "InterSt", "IntraIo", "InterDy",
                                    "IntraO3")])
             for w, per in data.items()]

@@ -3,13 +3,14 @@
 from repro.eval import fig15_timeseries, fig16_realworld, format_table
 from repro.workloads import REALWORLD_ORDER
 
-from conftest import BENCH_INPUT_SCALE, run_once
+from bench_common import BENCH_INPUT_SCALE, BENCH_ORCHESTRATOR, run_once
 
 
 def test_fig15_functional_units_and_power(benchmark):
     """Fig. 15: FU utilization and power over time, SIMD vs. IntraO3 (MX1)."""
     data = run_once(benchmark, fig15_timeseries, workload="MX1",
-                    input_scale=BENCH_INPUT_SCALE, sample_points=100)
+                    input_scale=BENCH_INPUT_SCALE, sample_points=100,
+                    orchestrator=BENCH_ORCHESTRATOR)
     rows = []
     for system, result in data.items():
         rows.append((system, result.makespan_s, result.mean_active_fus,
@@ -35,7 +36,8 @@ def test_fig16_graph_and_bigdata_applications(benchmark):
     """Fig. 16: throughput and energy for bfs / wc / nn / nw / path."""
     data = run_once(benchmark, fig16_realworld,
                     workloads=tuple(REALWORLD_ORDER),
-                    instances=4, input_scale=BENCH_INPUT_SCALE)
+                    instances=4, input_scale=BENCH_INPUT_SCALE,
+                    orchestrator=BENCH_ORCHESTRATOR)
     rows = []
     for workload, per_system in data.items():
         for system, metrics in per_system.items():

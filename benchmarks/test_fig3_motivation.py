@@ -7,7 +7,7 @@ from repro.eval import (
 )
 from repro.workloads import MOTIVATION_ORDER
 
-from conftest import run_once
+from bench_common import run_once
 
 
 def test_fig3b_throughput_vs_serial_fraction(benchmark):

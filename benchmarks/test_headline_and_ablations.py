@@ -10,14 +10,15 @@ from repro.core import FlashAbacusAccelerator, run_flashabacus
 from repro.eval import format_table, headline_summary, improvement_pct
 from repro.workloads import homogeneous_workload
 
-from conftest import BENCH_INPUT_SCALE, run_once
+from bench_common import BENCH_INPUT_SCALE, BENCH_ORCHESTRATOR, run_once
 
 
 def test_headline_throughput_and_energy(benchmark):
     """Abstract: +127% bandwidth, -78.4% energy vs. conventional acceleration."""
     summary = run_once(benchmark, headline_summary,
                        workloads=("ATAX", "BICG", "MVT", "GESUM", "SYRK"),
-                       input_scale=BENCH_INPUT_SCALE)
+                       input_scale=BENCH_INPUT_SCALE,
+                       orchestrator=BENCH_ORCHESTRATOR)
     gain_pct = improvement_pct(summary["mean_throughput_gain"], 1.0)
     saving_pct = summary["mean_energy_saving"] * 100.0
     print("\nHeadline reproduction (IntraO3 vs SIMD)")

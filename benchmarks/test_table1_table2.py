@@ -4,7 +4,7 @@ from repro.eval import format_table
 from repro.hw import prototype_spec
 from repro.workloads import POLYBENCH, POLYBENCH_ORDER, table2_rows
 
-from conftest import run_once
+from bench_common import run_once
 
 
 def test_table1_hardware_specification(benchmark):

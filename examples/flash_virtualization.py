@@ -13,30 +13,32 @@ schedulers) to illustrate the mechanisms of Section 4.3:
 Run with:  python examples/flash_virtualization.py
 """
 
+from dataclasses import replace
+
+from repro import PlatformConfig
 from repro.core.flashvisor import Flashvisor
 from repro.core.kernel import build_kernel
 from repro.core.storengine import Storengine
-from repro.flash.backbone import FlashBackbone
-from repro.hw import DDR3L, EnergyAccountant, Interconnect, LWPCluster, Scratchpad
 from repro.hw.spec import FlashSpec, prototype_spec
-from repro.sim import Environment
+from repro.platform import PlatformBuilder
 
 
 def build_platform(flash_spec):
-    env = Environment()
-    spec = prototype_spec()
-    energy = EnergyAccountant()
-    cluster = LWPCluster(env, spec.lwp, energy)
-    backbone = FlashBackbone(env, flash_spec, energy)
-    flashvisor = Flashvisor(env, cluster.flashvisor_lwp, backbone,
-                            DDR3L(env, spec.memory, energy),
-                            Scratchpad(env, spec.memory, energy),
-                            Interconnect(env, spec.interconnect).new_queue("fv"),
-                            energy)
-    storengine = Storengine(env, cluster.storengine_lwp, flashvisor, backbone,
-                            energy, poll_interval_s=1e-4,
+    # The substrate (LWPs, DDR3L, scratchpad, crossbars, backbone) comes
+    # from the shared builder; only the flash geometry is customized, and
+    # the Flashvisor/Storengine software is wired by hand so this example
+    # can use aggressive poll/journal intervals.
+    config = PlatformConfig(
+        system="IntraO3",
+        spec=replace(prototype_spec(), flash=flash_spec))
+    sub = PlatformBuilder(config).build_flashabacus_substrate()
+    flashvisor = Flashvisor(sub.env, sub.cluster.flashvisor_lwp, sub.backbone,
+                            sub.ddr, sub.scratchpad,
+                            sub.interconnect.new_queue("fv"), sub.energy)
+    storengine = Storengine(sub.env, sub.cluster.storengine_lwp, flashvisor,
+                            sub.backbone, sub.energy, poll_interval_s=1e-4,
                             journal_interval_s=50e-3)
-    return env, flashvisor, storengine, backbone
+    return sub.env, flashvisor, storengine, sub.backbone
 
 
 def demo_translation_and_locking() -> None:

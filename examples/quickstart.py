@@ -3,36 +3,43 @@
 
 This is the smallest end-to-end use of the public API:
 
-1. build a workload (six instances of ATAX, as in the paper's homogeneous
+1. describe each platform with a :class:`repro.PlatformConfig` (the single
+   entry point for spec, scheduler, instance counts, scale, and feature
+   toggles),
+2. build a workload (six instances of ATAX, as in the paper's homogeneous
    evaluation),
-2. run it on the FlashAbacus accelerator with the out-of-order intra-kernel
-   scheduler (``IntraO3``),
-3. run the same workload on the conventional ``SIMD`` baseline (host + NVMe
-   SSD + storage stack),
+3. run it on the FlashAbacus accelerator with the out-of-order intra-kernel
+   scheduler (``IntraO3``) and on the conventional ``SIMD`` baseline
+   (host + NVMe SSD + storage stack),
 4. compare throughput, energy, and LWP utilization.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import run_baseline, run_flashabacus
-from repro.eval import format_table, improvement_pct
+from repro import PlatformConfig
+from repro.eval import format_table, improvement_pct, run_system
 from repro.workloads import homogeneous_workload
 
 # Scale the 640 MB-per-instance data set down so the example finishes in a
 # couple of seconds; every reported ratio is invariant to this factor.
 INPUT_SCALE = 0.1
+INSTANCES = 6
 
 
 def main() -> None:
     workload_name = "ATAX"
 
-    flashabacus = run_flashabacus(
-        homogeneous_workload(workload_name, instances=6,
+    flashabacus = run_system(
+        PlatformConfig(system="IntraO3", instances=INSTANCES,
+                       input_scale=INPUT_SCALE),
+        homogeneous_workload(workload_name, instances=INSTANCES,
                              input_scale=INPUT_SCALE),
-        scheduler="IntraO3", workload_name=workload_name)
+        workload_name=workload_name)
 
-    simd = run_baseline(
-        homogeneous_workload(workload_name, instances=6,
+    simd = run_system(
+        PlatformConfig(system="SIMD", instances=INSTANCES,
+                       input_scale=INPUT_SCALE),
+        homogeneous_workload(workload_name, instances=INSTANCES,
                              input_scale=INPUT_SCALE),
         workload_name=workload_name)
 
@@ -43,7 +50,8 @@ def main() -> None:
                      report.energy_joules,
                      report.worker_utilization * 100.0,
                      report.makespan_s))
-    print(f"Workload: {workload_name} (6 instances, input scale {INPUT_SCALE})\n")
+    print(f"Workload: {workload_name} ({INSTANCES} instances, "
+          f"input scale {INPUT_SCALE})\n")
     print(format_table(
         ["system", "throughput (MB/s)", "energy (J)", "LWP util (%)",
          "makespan (s)"], rows))

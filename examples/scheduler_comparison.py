@@ -9,17 +9,23 @@ all four and shows where each policy wins and loses: throughput, average
 kernel latency, worker utilization, and how many screens the out-of-order
 scheduler "borrowed" across kernel boundaries.
 
+The four scheduler runs are dispatched through the experiment
+orchestrator: each simulation owns an independent environment, so they
+execute in parallel worker processes, and re-running the example serves
+the results from the orchestrator cache when ``REPRO_CACHE_DIR`` is set.
+
 Run with:  python examples/scheduler_comparison.py [MX1..MX14]
 """
 
 import sys
 
-from repro import run_flashabacus
-from repro.eval import format_table
-from repro.workloads import MIX_COMPOSITIONS, heterogeneous_workload
+from repro import PlatformConfig
+from repro.eval import ExperimentOrchestrator, WorkloadSpec, format_table
+from repro.workloads import MIX_COMPOSITIONS
 
 INPUT_SCALE = 0.1
 INSTANCES_PER_KERNEL = 2
+SCHEDULERS = ("InterSt", "IntraIo", "InterDy", "IntraO3")
 
 
 def main() -> None:
@@ -30,12 +36,17 @@ def main() -> None:
     print(f"{INSTANCES_PER_KERNEL} instances per kernel, "
           f"input scale {INPUT_SCALE}\n")
 
+    # from_env honors REPRO_CACHE_DIR (persistent cache) and REPRO_PARALLEL.
+    orchestrator = ExperimentOrchestrator.from_env(
+        default_workers=len(SCHEDULERS))
+    comparison = orchestrator.compare(
+        WorkloadSpec("heterogeneous", mix), SCHEDULERS,
+        PlatformConfig(instances=INSTANCES_PER_KERNEL,
+                       input_scale=INPUT_SCALE))
+
     rows = []
-    for scheduler in ("InterSt", "IntraIo", "InterDy", "IntraO3"):
-        kernels = heterogeneous_workload(
-            mix, instances_per_kernel=INSTANCES_PER_KERNEL,
-            input_scale=INPUT_SCALE)
-        report = run_flashabacus(kernels, scheduler, mix)
+    for scheduler in SCHEDULERS:
+        report = comparison.reports[scheduler]
         latency = report.latency_summary()
         rows.append((scheduler,
                      report.throughput_mb_per_s,

@@ -1,0 +1,10 @@
+"""Legacy shim: all metadata lives in pyproject.toml.
+
+Kept so `python setup.py develop` still works in offline environments
+whose setuptools predates bundled wheel support; normal installs should
+use `pip install -e .`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -29,6 +29,7 @@ from .core import (
 )
 from .baseline import BaselineSystem, run_baseline
 from .hw import HardwareSpec, prototype_spec
+from .platform import PlatformBuilder, PlatformConfig, build_system
 from .workloads import (
     heterogeneous_workload,
     homogeneous_workload,
@@ -51,6 +52,9 @@ __all__ = [
     "run_baseline",
     "HardwareSpec",
     "prototype_spec",
+    "PlatformBuilder",
+    "PlatformConfig",
+    "build_system",
     "heterogeneous_workload",
     "homogeneous_workload",
     "realworld_workload",

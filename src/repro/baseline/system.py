@@ -23,23 +23,16 @@ from typing import Dict, List, Optional, Sequence
 
 from ..sim.engine import Environment
 from ..sim.stats import SummaryStats, TimeSeries
-from ..hw.lwp import LWPCluster
-from ..hw.memory import DDR3L
-from ..hw.pcie import PCIeLink
 from ..hw.power import (
     COMPUTATION,
     DATA_MOVEMENT,
-    STORAGE_ACCESS,
-    EnergyAccountant,
     EnergyBreakdown,
-    PowerMonitor,
 )
-from ..hw.spec import HardwareSpec, prototype_spec
+from ..hw.spec import HardwareSpec
+from ..platform.builder import HardwareSubstrate, resolve_substrate
+from ..platform.config import PlatformConfig
 from ..core.accelerator import ExecutionReport
 from ..core.kernel import Kernel, Microblock
-from .host import HostCPU
-from .ssd import NVMeSSD
-from .storage_stack import HostStorageStack
 
 
 @dataclass
@@ -75,25 +68,26 @@ class BaselineSystem:
     def __init__(self, env: Optional[Environment] = None,
                  spec: Optional[HardwareSpec] = None,
                  track_power_series: bool = False,
-                 lwp_count: Optional[int] = None):
-        self.env = env if env is not None else Environment()
-        self.spec = spec if spec is not None else prototype_spec()
-        self.energy = EnergyAccountant()
-        self.power_monitor = PowerMonitor(self.env) if track_power_series else None
-        lwp_spec = self.spec.lwp
-        if lwp_count is not None:
-            from dataclasses import replace
-            lwp_spec = replace(lwp_spec, count=lwp_count)
-        # The baseline does not reserve Flashvisor/Storengine cores: all
-        # LWPs are OpenMP workers.
-        self.cluster = LWPCluster(self.env, lwp_spec, self.energy,
-                                  self.power_monitor,
-                                  reserve_management_cores=False)
-        self.ddr = DDR3L(self.env, self.spec.memory, self.energy)
-        self.pcie = PCIeLink(self.env, self.spec.pcie, self.energy)
-        self.ssd = NVMeSSD(self.env, self.spec.ssd, self.energy)
-        self.host = HostCPU(self.env, self.spec.host, self.energy)
-        self.stack = HostStorageStack(self.env, self.spec.host, self.energy)
+                 lwp_count: Optional[int] = None,
+                 config: Optional[PlatformConfig] = None,
+                 substrate: Optional[HardwareSubstrate] = None):
+        substrate = resolve_substrate(
+            baseline=True, env=env, spec=spec,
+            track_power_series=track_power_series,
+            lwp_count=lwp_count, config=config, substrate=substrate)
+        config = substrate.config
+        self.config = config
+        self.substrate = substrate
+        self.env = substrate.env
+        self.spec = substrate.spec
+        self.energy = substrate.energy
+        self.power_monitor = substrate.power_monitor
+        self.cluster = substrate.cluster
+        self.ddr = substrate.ddr
+        self.pcie = substrate.pcie
+        self.ssd = substrate.ssd
+        self.host = substrate.host
+        self.stack = substrate.stack
         self.breakdowns: List[KernelTimeBreakdown] = []
         self.completion_times: List[float] = []
         self.kernel_latencies: List[float] = []
@@ -258,8 +252,9 @@ class BaselineSystem:
 def run_baseline(kernels: Sequence[Kernel], workload_name: str = "workload",
                  spec: Optional[HardwareSpec] = None,
                  track_power_series: bool = False,
-                 lwp_count: Optional[int] = None) -> ExecutionReport:
+                 lwp_count: Optional[int] = None,
+                 config: Optional[PlatformConfig] = None) -> ExecutionReport:
     """Convenience wrapper mirroring :func:`repro.core.run_flashabacus`."""
     system = BaselineSystem(spec=spec, track_power_series=track_power_series,
-                            lwp_count=lwp_count)
+                            lwp_count=lwp_count, config=config)
     return system.run_workload(kernels, workload_name)

@@ -20,23 +20,19 @@ time series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..sim.engine import Environment, Event
 from ..sim.stats import SummaryStats, TimeSeries
-from ..hw.interconnect import Interconnect
-from ..hw.lwp import LWP, LWPCluster
-from ..hw.memory import DDR3L, Scratchpad
-from ..hw.pcie import PCIeLink
+from ..hw.lwp import LWP
 from ..hw.power import (
     COMPUTATION,
     STORAGE_ACCESS,
-    EnergyAccountant,
     EnergyBreakdown,
-    PowerMonitor,
 )
-from ..hw.spec import HardwareSpec, prototype_spec
-from ..flash.backbone import FlashBackbone
+from ..hw.spec import HardwareSpec
+from ..platform.builder import HardwareSubstrate, resolve_substrate
+from ..platform.config import FLASHABACUS_SCHEDULERS, PlatformConfig
 from .execution_chain import MicroblockNode, ScreenNode
 from .flashvisor import Flashvisor
 from .kernel import Kernel
@@ -115,27 +111,88 @@ class ExecutionReport:
     def energy_joules(self) -> float:
         return self.energy.total
 
+    # ------------------------------------------------------------------ #
+    # Serialization (used by the experiment orchestrator's result cache)   #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "makespan_s": self.makespan_s,
+            "kernel_latencies": list(self.kernel_latencies),
+            "completion_times": list(self.completion_times),
+            "bytes_processed": self.bytes_processed,
+            "energy": self.energy.as_dict(),
+            "worker_utilization": self.worker_utilization,
+            "per_lwp_utilization": list(self.per_lwp_utilization),
+            "mean_active_fus": self.mean_active_fus,
+            "fu_series": (self.fu_series.to_dict()
+                          if self.fu_series is not None else None),
+            "power_series": (self.power_series.to_dict()
+                             if self.power_series is not None else None),
+            "scheduler_stats": dict(self.scheduler_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionReport":
+        return cls(
+            system=data["system"],
+            workload=data["workload"],
+            makespan_s=data["makespan_s"],
+            kernel_latencies=list(data["kernel_latencies"]),
+            completion_times=list(data["completion_times"]),
+            bytes_processed=data["bytes_processed"],
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            worker_utilization=data["worker_utilization"],
+            per_lwp_utilization=list(data["per_lwp_utilization"]),
+            mean_active_fus=data["mean_active_fus"],
+            fu_series=(TimeSeries.from_dict(data["fu_series"])
+                       if data.get("fu_series") is not None else None),
+            power_series=(TimeSeries.from_dict(data["power_series"])
+                          if data.get("power_series") is not None else None),
+            scheduler_stats=dict(data.get("scheduler_stats", {})),
+        )
+
 
 class FlashAbacusAccelerator:
-    """The self-governing flash-based accelerator."""
+    """The self-governing flash-based accelerator.
+
+    The hardware substrate comes from :class:`repro.platform.PlatformBuilder`
+    (pass ``substrate`` to share a pre-built one; a prebuilt substrate's
+    config is authoritative and keyword arguments that conflict with it
+    are errors); this class adds the self-governing software on top:
+    Flashvisor, Storengine, the offload controller, the flash address
+    space, and a kernel scheduler.
+    """
 
     def __init__(self, env: Optional[Environment] = None,
                  spec: Optional[HardwareSpec] = None,
-                 scheduler: str = "IntraO3",
-                 track_power_series: bool = False):
-        self.env = env if env is not None else Environment()
-        self.spec = spec if spec is not None else prototype_spec()
-        self.energy = EnergyAccountant()
-        self.power_monitor = PowerMonitor(self.env) if track_power_series else None
-        self.cluster = LWPCluster(self.env, self.spec.lwp, self.energy,
-                                  self.power_monitor,
-                                  reserve_management_cores=True)
-        self.ddr = DDR3L(self.env, self.spec.memory, self.energy)
-        self.scratchpad = Scratchpad(self.env, self.spec.memory, self.energy)
-        self.interconnect = Interconnect(self.env, self.spec.interconnect)
-        self.pcie = PCIeLink(self.env, self.spec.pcie, self.energy)
-        self.backbone = FlashBackbone(self.env, self.spec.flash, self.energy,
-                                      power_monitor=self.power_monitor)
+                 scheduler: Optional[str] = None,
+                 track_power_series: bool = False,
+                 config: Optional[PlatformConfig] = None,
+                 substrate: Optional[HardwareSubstrate] = None):
+        if scheduler is not None and scheduler not in FLASHABACUS_SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from "
+                f"{FLASHABACUS_SCHEDULERS}")
+        substrate = resolve_substrate(
+            baseline=False, env=env, spec=spec,
+            track_power_series=track_power_series,
+            system=scheduler, config=config, substrate=substrate)
+        config = substrate.config
+        scheduler_name = config.system
+        self.config = config
+        self.substrate = substrate
+        self.env = substrate.env
+        self.spec = substrate.spec
+        self.energy = substrate.energy
+        self.power_monitor = substrate.power_monitor
+        self.cluster = substrate.cluster
+        self.ddr = substrate.ddr
+        self.scratchpad = substrate.scratchpad
+        self.interconnect = substrate.interconnect
+        self.pcie = substrate.pcie
+        self.backbone = substrate.backbone
         self.flashvisor = Flashvisor(
             self.env, self.cluster.flashvisor_lwp, self.backbone, self.ddr,
             self.scratchpad, self.interconnect.new_queue("flashvisor"),
@@ -150,7 +207,7 @@ class FlashAbacusAccelerator:
             self.backbone.geometry.capacity_bytes,
             self.backbone.geometry.page_group_bytes)
         self.scheduler: Scheduler = make_scheduler(
-            scheduler, len(self.cluster.workers))
+            scheduler_name, len(self.cluster.workers))
         self._kernel_regions: Dict[int, Dict[str, int]] = {}
         self._wake: Event = self.env.event()
         self.screens_executed = 0
@@ -299,13 +356,16 @@ class FlashAbacusAccelerator:
         self.storengine.stop()
 
 
-def run_flashabacus(kernels: Sequence[Kernel], scheduler: str,
+def run_flashabacus(kernels: Sequence[Kernel],
+                    scheduler: Optional[str] = None,
                     workload_name: str = "workload",
                     spec: Optional[HardwareSpec] = None,
-                    track_power_series: bool = False) -> ExecutionReport:
+                    track_power_series: bool = False,
+                    config: Optional[PlatformConfig] = None) -> ExecutionReport:
     """Convenience wrapper: build a fresh accelerator and run one workload."""
     accelerator = FlashAbacusAccelerator(spec=spec, scheduler=scheduler,
-                                         track_power_series=track_power_series)
+                                         track_power_series=track_power_series,
+                                         config=config)
     report = accelerator.run_workload(kernels, workload_name)
     accelerator.shutdown()
     return report

@@ -7,6 +7,12 @@ shrinks the data sets proportionally — the scheduling/energy *ratios* are
 scale-invariant, so the default benchmark configuration uses a moderate
 scale to keep run time reasonable, and the EXPERIMENTS.md numbers record
 the scale used.
+
+All figure functions route through the
+:class:`~repro.eval.orchestrator.ExperimentOrchestrator`: pass one
+explicitly (or configure the default via ``REPRO_CACHE_DIR`` /
+``REPRO_PARALLEL``) to get persistent result caching and process-parallel
+sweeps; by default experiments run serially in-process exactly as before.
 """
 
 from __future__ import annotations
@@ -14,20 +20,102 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..hw.spec import HardwareSpec, prototype_spec
-from ..workloads.characteristics import (
-    DATA_INTENSIVE,
-    POLYBENCH_ORDER,
-    REALWORLD_ORDER,
+from ..hw.spec import HardwareSpec
+from ..platform.config import PlatformConfig
+from ..workloads.characteristics import POLYBENCH_ORDER, REALWORLD_ORDER
+from ..workloads.mixes import MIX_ORDER
+from .orchestrator import (
+    HETEROGENEOUS_INSTANCES_PER_KERNEL,
+    HOMOGENEOUS_INSTANCES,
+    ExperimentOrchestrator,
+    ExperimentSpec,
+    WorkloadSpec,
+    default_orchestrator,
 )
-from ..workloads.mixes import MIX_ORDER, heterogeneous_workload
-from ..workloads.polybench import homogeneous_workload
-from ..workloads.rodinia import realworld_workload
-from .runner import SYSTEMS, ComparisonResult, compare_systems
+from .runner import SYSTEMS, ComparisonResult
 
-#: Default instance counts from Section 5.1.
-HOMOGENEOUS_INSTANCES = 6
-HETEROGENEOUS_INSTANCES_PER_KERNEL = 4
+__all__ = [
+    "HETEROGENEOUS_INSTANCES_PER_KERNEL",
+    "HOMOGENEOUS_INSTANCES",
+    "TimeSeriesResult",
+    "fig10a_homogeneous_throughput",
+    "fig10b_heterogeneous_throughput",
+    "fig11_latency",
+    "fig12_completion_cdf",
+    "fig13_energy_breakdown",
+    "fig14_utilization",
+    "fig15_timeseries",
+    "fig16_realworld",
+    "headline_summary",
+]
+
+
+def _compare(kind: str, name: str, systems: Sequence[str],
+             instances: Optional[int], input_scale: float,
+             spec: Optional[HardwareSpec],
+             orchestrator: Optional[ExperimentOrchestrator],
+             track_power_series: bool = False) -> ComparisonResult:
+    """Run one workload across ``systems`` through the orchestrator."""
+    return _compare_many(kind, [name], systems, instances, input_scale,
+                         spec, orchestrator,
+                         track_power_series=track_power_series)[name]
+
+
+def _compare_flavor(heterogeneous: bool, name: str, systems: Sequence[str],
+                    input_scale: float, spec: Optional[HardwareSpec],
+                    orchestrator: Optional[ExperimentOrchestrator]
+                    ) -> ComparisonResult:
+    """The shared homogeneous-vs-heterogeneous resolution of Figs. 11-14."""
+    kind = "heterogeneous" if heterogeneous else "homogeneous"
+    instances = None if heterogeneous else HOMOGENEOUS_INSTANCES
+    return _compare(kind, name, systems, instances, input_scale, spec,
+                    orchestrator)
+
+
+def _compare_many(kind: str, names: Sequence[str], systems: Sequence[str],
+                  instances: Optional[int], input_scale: float,
+                  spec: Optional[HardwareSpec],
+                  orchestrator: Optional[ExperimentOrchestrator],
+                  track_power_series: bool = False
+                  ) -> Dict[str, ComparisonResult]:
+    """Run the full ``names`` x ``systems`` grid as one orchestrated sweep.
+
+    Submitting the whole grid at once lets a parallel orchestrator use all
+    of its workers across workload boundaries (one pool for the figure)
+    instead of fanning out at most ``len(systems)`` simulations at a time.
+    """
+    orch = orchestrator if orchestrator is not None else default_orchestrator()
+    kwargs = {
+        "instances": instances,
+        "input_scale": input_scale,
+        "track_power_series": track_power_series,
+    }
+    if spec is not None:
+        kwargs["spec"] = spec
+    base = PlatformConfig(**kwargs)
+    grid = {name: [ExperimentSpec(workload=WorkloadSpec(kind, name),
+                                  config=base.with_system(system))
+                   for system in systems]
+            for name in names}
+    reports = orch.run([s for specs in grid.values() for s in specs])
+    out: Dict[str, ComparisonResult] = {}
+    for name, specs in grid.items():
+        comparison = ComparisonResult(workload=name)
+        for system, espec in zip(systems, specs):
+            comparison.reports[system] = reports[espec.key]
+        out[name] = comparison
+    return out
+
+
+def _compare_flavor_many(heterogeneous: bool, names: Sequence[str],
+                         systems: Sequence[str], input_scale: float,
+                         spec: Optional[HardwareSpec],
+                         orchestrator: Optional[ExperimentOrchestrator]
+                         ) -> Dict[str, ComparisonResult]:
+    kind = "heterogeneous" if heterogeneous else "homogeneous"
+    instances = None if heterogeneous else HOMOGENEOUS_INSTANCES
+    return _compare_many(kind, names, systems, instances, input_scale, spec,
+                         orchestrator)
 
 
 # --------------------------------------------------------------------------- #
@@ -38,17 +126,14 @@ def fig10a_homogeneous_throughput(
         systems: Sequence[str] = tuple(SYSTEMS),
         instances: int = HOMOGENEOUS_INSTANCES,
         input_scale: float = 1.0,
-        spec: Optional[HardwareSpec] = None) -> Dict[str, Dict[str, float]]:
+        spec: Optional[HardwareSpec] = None,
+        orchestrator: Optional[ExperimentOrchestrator] = None
+        ) -> Dict[str, Dict[str, float]]:
     """Throughput (MB/s) of every system for each homogeneous workload."""
-    results: Dict[str, Dict[str, float]] = {}
-    for name in workloads:
-        comparison = compare_systems(
-            name,
-            lambda name=name: homogeneous_workload(name, instances=instances,
-                                                   input_scale=input_scale),
-            systems=systems, spec=spec)
-        results[name] = {s: comparison.throughput(s) for s in systems}
-    return results
+    comparisons = _compare_many("homogeneous", workloads, systems,
+                                instances, input_scale, spec, orchestrator)
+    return {name: {s: comparisons[name].throughput(s) for s in systems}
+            for name in workloads}
 
 
 def fig10b_heterogeneous_throughput(
@@ -56,18 +141,15 @@ def fig10b_heterogeneous_throughput(
         systems: Sequence[str] = tuple(SYSTEMS),
         instances_per_kernel: int = HETEROGENEOUS_INSTANCES_PER_KERNEL,
         input_scale: float = 1.0,
-        spec: Optional[HardwareSpec] = None) -> Dict[str, Dict[str, float]]:
+        spec: Optional[HardwareSpec] = None,
+        orchestrator: Optional[ExperimentOrchestrator] = None
+        ) -> Dict[str, Dict[str, float]]:
     """Throughput (MB/s) of every system for each heterogeneous mix."""
-    results: Dict[str, Dict[str, float]] = {}
-    for mix in mixes:
-        comparison = compare_systems(
-            mix,
-            lambda mix=mix: heterogeneous_workload(
-                mix, instances_per_kernel=instances_per_kernel,
-                input_scale=input_scale),
-            systems=systems, spec=spec)
-        results[mix] = {s: comparison.throughput(s) for s in systems}
-    return results
+    comparisons = _compare_many("heterogeneous", mixes, systems,
+                                instances_per_kernel, input_scale, spec,
+                                orchestrator)
+    return {mix: {s: comparisons[mix].throughput(s) for s in systems}
+            for mix in mixes}
 
 
 # --------------------------------------------------------------------------- #
@@ -77,20 +159,14 @@ def fig11_latency(workloads: Sequence[str],
                   heterogeneous: bool = False,
                   systems: Sequence[str] = tuple(SYSTEMS),
                   input_scale: float = 1.0,
-                  spec: Optional[HardwareSpec] = None
+                  spec: Optional[HardwareSpec] = None,
+                  orchestrator: Optional[ExperimentOrchestrator] = None
                   ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Kernel latency statistics normalized to SIMD (Fig. 11a/11b)."""
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for name in workloads:
-        if heterogeneous:
-            factory = lambda name=name: heterogeneous_workload(
-                name, input_scale=input_scale)
-        else:
-            factory = lambda name=name: homogeneous_workload(
-                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
-        comparison = compare_systems(name, factory, systems=systems, spec=spec)
-        results[name] = comparison.normalized_latency("SIMD")
-    return results
+    comparisons = _compare_flavor_many(heterogeneous, workloads, systems,
+                                       input_scale, spec, orchestrator)
+    return {name: comparisons[name].normalized_latency("SIMD")
+            for name in workloads}
 
 
 # --------------------------------------------------------------------------- #
@@ -100,16 +176,12 @@ def fig12_completion_cdf(workload: str = "ATAX",
                          heterogeneous: bool = False,
                          systems: Sequence[str] = tuple(SYSTEMS),
                          input_scale: float = 1.0,
-                         spec: Optional[HardwareSpec] = None
+                         spec: Optional[HardwareSpec] = None,
+                         orchestrator: Optional[ExperimentOrchestrator] = None
                          ) -> Dict[str, List[Tuple[float, int]]]:
     """(completion time, #kernels completed) series per system (Fig. 12)."""
-    if heterogeneous:
-        factory = lambda: heterogeneous_workload(workload,
-                                                 input_scale=input_scale)
-    else:
-        factory = lambda: homogeneous_workload(
-            workload, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
-    comparison = compare_systems(workload, factory, systems=systems, spec=spec)
+    comparison = _compare_flavor(heterogeneous, workload, systems,
+                                 input_scale, spec, orchestrator)
     out: Dict[str, List[Tuple[float, int]]] = {}
     for system in systems:
         completions = comparison.reports[system].completion_times
@@ -124,22 +196,19 @@ def fig13_energy_breakdown(workloads: Sequence[str],
                            heterogeneous: bool = False,
                            systems: Sequence[str] = tuple(SYSTEMS),
                            input_scale: float = 1.0,
-                           spec: Optional[HardwareSpec] = None
+                           spec: Optional[HardwareSpec] = None,
+                           orchestrator: Optional[ExperimentOrchestrator] = None
                            ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Energy split into data movement / computation / storage access.
 
     Every bucket is normalized to the total energy of SIMD for the same
     workload, as in the paper's Figure 13.
     """
+    comparisons = _compare_flavor_many(heterogeneous, workloads, systems,
+                                       input_scale, spec, orchestrator)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in workloads:
-        if heterogeneous:
-            factory = lambda name=name: heterogeneous_workload(
-                name, input_scale=input_scale)
-        else:
-            factory = lambda name=name: homogeneous_workload(
-                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
-        comparison = compare_systems(name, factory, systems=systems, spec=spec)
+        comparison = comparisons[name]
         simd_total = comparison.reports["SIMD"].energy.total \
             if "SIMD" in comparison.reports else None
         per_system: Dict[str, Dict[str, float]] = {}
@@ -163,20 +232,15 @@ def fig14_utilization(workloads: Sequence[str],
                       heterogeneous: bool = False,
                       systems: Sequence[str] = tuple(SYSTEMS),
                       input_scale: float = 1.0,
-                      spec: Optional[HardwareSpec] = None
+                      spec: Optional[HardwareSpec] = None,
+                      orchestrator: Optional[ExperimentOrchestrator] = None
                       ) -> Dict[str, Dict[str, float]]:
     """Average LWP utilization (%) per system (Fig. 14a/14b)."""
-    results: Dict[str, Dict[str, float]] = {}
-    for name in workloads:
-        if heterogeneous:
-            factory = lambda name=name: heterogeneous_workload(
-                name, input_scale=input_scale)
-        else:
-            factory = lambda name=name: homogeneous_workload(
-                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale)
-        comparison = compare_systems(name, factory, systems=systems, spec=spec)
-        results[name] = {s: comparison.utilization(s) * 100.0 for s in systems}
-    return results
+    comparisons = _compare_flavor_many(heterogeneous, workloads, systems,
+                                       input_scale, spec, orchestrator)
+    return {name: {s: comparisons[name].utilization(s) * 100.0
+                   for s in systems}
+            for name in workloads}
 
 
 # --------------------------------------------------------------------------- #
@@ -208,13 +272,13 @@ def fig15_timeseries(workload: str = "MX1",
                      systems: Sequence[str] = ("SIMD", "IntraO3"),
                      input_scale: float = 1.0,
                      sample_points: int = 200,
-                     spec: Optional[HardwareSpec] = None
+                     spec: Optional[HardwareSpec] = None,
+                     orchestrator: Optional[ExperimentOrchestrator] = None
                      ) -> Dict[str, TimeSeriesResult]:
     """FU-utilization and power time series for SIMD vs. IntraO3 (Fig. 15)."""
-    comparison = compare_systems(
-        workload,
-        lambda: heterogeneous_workload(workload, input_scale=input_scale),
-        systems=systems, spec=spec, track_power_series=True)
+    comparison = _compare("heterogeneous", workload, systems, None,
+                          input_scale, spec, orchestrator,
+                          track_power_series=True)
     out: Dict[str, TimeSeriesResult] = {}
     for system in systems:
         report = comparison.reports[system]
@@ -240,16 +304,15 @@ def fig16_realworld(workloads: Sequence[str] = tuple(REALWORLD_ORDER),
                     systems: Sequence[str] = tuple(SYSTEMS),
                     instances: int = HOMOGENEOUS_INSTANCES,
                     input_scale: float = 1.0,
-                    spec: Optional[HardwareSpec] = None
+                    spec: Optional[HardwareSpec] = None,
+                    orchestrator: Optional[ExperimentOrchestrator] = None
                     ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Throughput and normalized energy for bfs/wc/nn/nw/path (Fig. 16)."""
+    comparisons = _compare_many("realworld", workloads, systems, instances,
+                                input_scale, spec, orchestrator)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in workloads:
-        comparison = compare_systems(
-            name,
-            lambda name=name: realworld_workload(name, instances=instances,
-                                                 input_scale=input_scale),
-            systems=systems, spec=spec)
+        comparison = comparisons[name]
         simd_energy = comparison.energy("SIMD") if "SIMD" in systems else None
         per_system: Dict[str, Dict[str, float]] = {}
         for system in systems:
@@ -268,7 +331,9 @@ def fig16_realworld(workloads: Sequence[str] = tuple(REALWORLD_ORDER),
 # --------------------------------------------------------------------------- #
 def headline_summary(workloads: Sequence[str] = ("ATAX", "MVT", "SYRK", "3MM"),
                      input_scale: float = 0.1,
-                     spec: Optional[HardwareSpec] = None) -> Dict[str, float]:
+                     spec: Optional[HardwareSpec] = None,
+                     orchestrator: Optional[ExperimentOrchestrator] = None
+                     ) -> Dict[str, float]:
     """Average IntraO3-vs-SIMD throughput gain and energy saving.
 
     The paper's headline: +127% bandwidth, -78.4% energy.  This helper
@@ -276,14 +341,12 @@ def headline_summary(workloads: Sequence[str] = ("ATAX", "MVT", "SYRK", "3MM"),
     """
     gains: List[float] = []
     savings: List[float] = []
+    comparisons = _compare_many("homogeneous", workloads, ("SIMD", "IntraO3"),
+                                HOMOGENEOUS_INSTANCES, input_scale, spec,
+                                orchestrator)
     for name in workloads:
-        comparison = compare_systems(
-            name,
-            lambda name=name: homogeneous_workload(
-                name, instances=HOMOGENEOUS_INSTANCES, input_scale=input_scale),
-            systems=("SIMD", "IntraO3"), spec=spec)
-        simd = comparison.reports["SIMD"]
-        intra = comparison.reports["IntraO3"]
+        simd = comparisons[name].reports["SIMD"]
+        intra = comparisons[name].reports["IntraO3"]
         if simd.throughput_mb_per_s > 0:
             gains.append(intra.throughput_mb_per_s / simd.throughput_mb_per_s)
         if simd.energy_joules > 0:

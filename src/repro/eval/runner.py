@@ -9,33 +9,55 @@ entry point used by every experiment and benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.accelerator import ExecutionReport, run_flashabacus
 from ..core.kernel import Kernel
 from ..baseline.system import run_baseline
 from ..hw.spec import HardwareSpec
+from ..platform.config import (
+    BASELINE_SYSTEM,
+    FLASHABACUS_SCHEDULERS,
+    PlatformConfig,
+)
 
-#: The five accelerated systems of Section 5, in the paper's plot order.
-SYSTEMS: List[str] = ["SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"]
+#: The five accelerated systems of Section 5, in the paper's plot order
+#: (derived from the platform layer's single source of truth).
+SYSTEMS: List[str] = [BASELINE_SYSTEM, *FLASHABACUS_SCHEDULERS]
 
 #: FlashAbacus-only subset.
-FLASHABACUS_SYSTEMS: List[str] = ["InterSt", "IntraIo", "InterDy", "IntraO3"]
+FLASHABACUS_SYSTEMS: List[str] = list(FLASHABACUS_SCHEDULERS)
 
 
-def run_system(system: str, kernels: Sequence[Kernel],
+def run_system(system: Union[str, PlatformConfig], kernels: Sequence[Kernel],
                workload_name: str = "workload",
                spec: Optional[HardwareSpec] = None,
-               track_power_series: bool = False) -> ExecutionReport:
-    """Run ``kernels`` on one of the five systems and return its report."""
-    if system == "SIMD":
-        return run_baseline(kernels, workload_name, spec=spec,
-                            track_power_series=track_power_series)
-    if system in FLASHABACUS_SYSTEMS:
-        return run_flashabacus(kernels, scheduler=system,
-                               workload_name=workload_name, spec=spec,
-                               track_power_series=track_power_series)
-    raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+               track_power_series: bool = False,
+               config: Optional[PlatformConfig] = None) -> ExecutionReport:
+    """Run ``kernels`` on one of the five systems and return its report.
+
+    ``system`` may be a system name or a full
+    :class:`~repro.platform.PlatformConfig` (equivalently passed via the
+    ``config`` keyword); with a config, the platform is assembled by
+    :class:`~repro.platform.PlatformBuilder` from that description.
+    """
+    if isinstance(system, PlatformConfig):
+        if config is not None:
+            raise ValueError("pass the PlatformConfig either positionally "
+                             "or as config=, not both")
+        config, system = system, system.system
+    if config is None:
+        # A bare name is just a default config for that system (unknown
+        # names are rejected by PlatformConfig itself).
+        config = PlatformConfig(system=system)
+    # Explicit arguments are not silently dropped next to a config:
+    # they override the corresponding config fields.
+    config = config.merged(system=system, spec=spec,
+                           track_power_series=track_power_series)
+    if config.is_baseline:
+        return run_baseline(kernels, workload_name, config=config)
+    return run_flashabacus(kernels, workload_name=workload_name,
+                           config=config)
 
 
 @dataclass
@@ -82,12 +104,21 @@ def compare_systems(workload_name: str,
                     kernel_factory: Callable[[], Sequence[Kernel]],
                     systems: Sequence[str] = SYSTEMS,
                     spec: Optional[HardwareSpec] = None,
-                    track_power_series: bool = False) -> ComparisonResult:
-    """Run the same workload on several systems (fresh kernels per system)."""
+                    track_power_series: bool = False,
+                    config: Optional[PlatformConfig] = None) -> ComparisonResult:
+    """Run the same workload on several systems (fresh kernels per system).
+
+    This is the low-level serial path for ad-hoc kernel factories.  The
+    paper-figure sweeps go through
+    :class:`repro.eval.orchestrator.ExperimentOrchestrator`, which adds
+    result caching and process-parallel execution for declarative
+    (:class:`~repro.eval.orchestrator.WorkloadSpec`-based) workloads.
+    """
     result = ComparisonResult(workload=workload_name)
     for system in systems:
         kernels = list(kernel_factory())
         result.reports[system] = run_system(
             system, kernels, workload_name, spec=spec,
-            track_power_series=track_power_series)
+            track_power_series=track_power_series,
+            config=config.with_system(system) if config is not None else None)
     return result

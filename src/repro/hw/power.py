@@ -65,6 +65,14 @@ class EnergyBreakdown:
             "total": self.total,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "EnergyBreakdown":
+        return cls(
+            data_movement=data.get(DATA_MOVEMENT, 0.0),
+            computation=data.get(COMPUTATION, 0.0),
+            storage_access=data.get(STORAGE_ACCESS, 0.0),
+        )
+
 
 class EnergyAccountant:
     """Collects energy charges from every simulated component."""

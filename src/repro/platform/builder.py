@@ -1,0 +1,230 @@
+"""Single place the hardware substrate is assembled.
+
+Historically ``baseline/system.py`` and ``core/accelerator.py`` each
+hand-wired their own copies of the shared hardware (LWP cluster, DDR3L,
+PCIe, power monitoring) plus their private parts (flash backbone and
+crossbars vs. NVMe SSD and host storage stack).  :class:`PlatformBuilder`
+centralizes that wiring: it turns a :class:`~repro.platform.PlatformConfig`
+into a :class:`HardwareSubstrate`, and both systems build their software
+layers (Flashvisor, Storengine, schedulers, OpenMP driver) on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..sim.engine import Environment
+from ..hw.interconnect import Interconnect
+from ..hw.lwp import LWPCluster
+from ..hw.memory import DDR3L, Scratchpad
+from ..hw.pcie import PCIeLink
+from ..hw.power import EnergyAccountant, PowerMonitor
+from ..hw.spec import HardwareSpec
+from ..flash.backbone import FlashBackbone
+from .config import BASELINE_SYSTEM, PlatformConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..baseline.host import HostCPU
+    from ..baseline.ssd import NVMeSSD
+    from ..baseline.storage_stack import HostStorageStack
+
+
+@dataclass
+class HardwareSubstrate:
+    """The assembled hardware platform one system runs on.
+
+    The common parts (environment, energy accounting, LWP cluster, DDR3L,
+    PCIe) are always present; the FlashAbacus-only parts (scratchpad,
+    crossbars, flash backbone) and the baseline-only parts (NVMe SSD, host
+    CPU, host storage stack) are ``None`` on the other side.
+    """
+
+    config: PlatformConfig
+    env: Environment
+    spec: HardwareSpec
+    energy: EnergyAccountant
+    power_monitor: Optional[PowerMonitor]
+    cluster: LWPCluster
+    ddr: DDR3L
+    pcie: PCIeLink
+    # FlashAbacus side
+    scratchpad: Optional[Scratchpad] = None
+    interconnect: Optional[Interconnect] = None
+    backbone: Optional[FlashBackbone] = None
+    # Baseline (SIMD) side
+    ssd: Optional["NVMeSSD"] = None
+    host: Optional["HostCPU"] = None
+    stack: Optional["HostStorageStack"] = None
+
+
+class PlatformBuilder:
+    """Assembles a :class:`HardwareSubstrate` from a :class:`PlatformConfig`."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None,
+                 env: Optional[Environment] = None):
+        self.config = config if config is not None else PlatformConfig()
+        self.env = env if env is not None else Environment()
+
+    # ------------------------------------------------------------------ #
+    # Common parts                                                         #
+    # ------------------------------------------------------------------ #
+    def _common(self, reserve_management_cores: bool):
+        spec = self.config.effective_spec()
+        energy = EnergyAccountant()
+        monitor = (PowerMonitor(self.env)
+                   if self.config.track_power_series else None)
+        reserve = self.config.feature("reserve_management_cores",
+                                      reserve_management_cores)
+        cluster = LWPCluster(self.env, spec.lwp, energy, monitor,
+                             reserve_management_cores=reserve)
+        ddr = DDR3L(self.env, spec.memory, energy)
+        pcie = PCIeLink(self.env, spec.pcie, energy)
+        return spec, energy, monitor, cluster, ddr, pcie
+
+    # ------------------------------------------------------------------ #
+    # The two platform flavors                                             #
+    # ------------------------------------------------------------------ #
+    def build_flashabacus_substrate(self) -> HardwareSubstrate:
+        """LWPs + DDR3L + scratchpad + crossbars + PCIe + flash backbone."""
+        spec, energy, monitor, cluster, ddr, pcie = self._common(
+            reserve_management_cores=True)
+        return HardwareSubstrate(
+            config=self.config,
+            env=self.env,
+            spec=spec,
+            energy=energy,
+            power_monitor=monitor,
+            cluster=cluster,
+            ddr=ddr,
+            pcie=pcie,
+            scratchpad=Scratchpad(self.env, spec.memory, energy),
+            interconnect=Interconnect(self.env, spec.interconnect),
+            backbone=FlashBackbone(self.env, spec.flash, energy,
+                                   power_monitor=monitor),
+        )
+
+    def build_baseline_substrate(self) -> HardwareSubstrate:
+        """LWPs + DDR3L + PCIe + NVMe SSD + host CPU + host storage stack."""
+        # Imported lazily: ``repro.baseline`` imports this module to build
+        # its substrate, so a top-level import would be circular.
+        from ..baseline.host import HostCPU
+        from ..baseline.ssd import NVMeSSD
+        from ..baseline.storage_stack import HostStorageStack
+
+        # The baseline reserves no Flashvisor/Storengine cores: every LWP
+        # is an OpenMP worker.
+        spec, energy, monitor, cluster, ddr, pcie = self._common(
+            reserve_management_cores=False)
+        return HardwareSubstrate(
+            config=self.config,
+            env=self.env,
+            spec=spec,
+            energy=energy,
+            power_monitor=monitor,
+            cluster=cluster,
+            ddr=ddr,
+            pcie=pcie,
+            ssd=NVMeSSD(self.env, spec.ssd, energy),
+            host=HostCPU(self.env, spec.host, energy),
+            stack=HostStorageStack(self.env, spec.host, energy),
+        )
+
+    def build(self) -> HardwareSubstrate:
+        """Build the substrate flavor ``config.system`` calls for."""
+        if self.config.is_baseline:
+            return self.build_baseline_substrate()
+        return self.build_flashabacus_substrate()
+
+
+def _check_flavor(config: PlatformConfig, baseline: bool) -> None:
+    if baseline != config.is_baseline:
+        if baseline:
+            raise ValueError("BaselineSystem needs a SIMD config, got "
+                             f"{config.system!r}")
+        raise ValueError("FlashAbacusAccelerator needs a FlashAbacus "
+                         "config, not the SIMD baseline")
+
+
+def resolve_substrate(baseline: bool,
+                      env: Optional[Environment] = None,
+                      spec: Optional[HardwareSpec] = None,
+                      track_power_series: bool = False,
+                      system: Optional[str] = None,
+                      lwp_count: Optional[int] = None,
+                      config: Optional[PlatformConfig] = None,
+                      substrate: Optional[HardwareSubstrate] = None
+                      ) -> HardwareSubstrate:
+    """Shared front-end of the two system constructors.
+
+    Reconciles the legacy keyword arguments with ``config`` (explicit
+    arguments override the corresponding config fields rather than being
+    silently dropped), validates the config's flavor *before* paying for
+    construction, and builds the substrate.  When a prebuilt ``substrate``
+    is passed its config is authoritative: it is validated and returned
+    as-is, and any *conflicting* argument (a different ``env``, ``config``,
+    ``system``, ``spec``, ``lwp_count``, or a power-series request the
+    substrate cannot honor) is an error rather than a silent ignore.
+    """
+    if substrate is not None:
+        if env is not None and env is not substrate.env:
+            raise ValueError(
+                "pass either env= or substrate=, not both: a prebuilt "
+                "substrate already owns its Environment")
+        if config is not None and config != substrate.config:
+            raise ValueError(
+                "config= conflicts with the prebuilt substrate's config; "
+                "rebuild the substrate or drop the argument")
+        # Either the config's raw spec or the effective (lwp_count-applied)
+        # spec the substrate was actually built with counts as "the same".
+        if spec is not None and spec != substrate.config.spec \
+                and spec != substrate.spec:
+            raise ValueError(
+                "spec= conflicts with the prebuilt substrate's config; "
+                "rebuild the substrate or drop the argument")
+        for name, given, actual in (
+                ("system", system, substrate.config.system),
+                ("lwp_count", lwp_count, substrate.config.lwp_count)):
+            if given is not None and given != actual:
+                raise ValueError(
+                    f"{name}={given!r} conflicts with the prebuilt "
+                    f"substrate's config; rebuild the substrate or drop "
+                    f"the argument")
+        if track_power_series and substrate.power_monitor is None:
+            raise ValueError(
+                "track_power_series=True conflicts with a prebuilt "
+                "substrate built without a power monitor")
+        _check_flavor(substrate.config, baseline)
+        return substrate
+    if config is None:
+        kwargs = {
+            "system": system or (BASELINE_SYSTEM if baseline else "IntraO3"),
+            "track_power_series": track_power_series,
+            "lwp_count": lwp_count,
+        }
+        if spec is not None:
+            kwargs["spec"] = spec
+        config = PlatformConfig(**kwargs)
+    else:
+        config = config.merged(system=system, spec=spec, lwp_count=lwp_count,
+                               track_power_series=track_power_series)
+    _check_flavor(config, baseline)
+    builder = PlatformBuilder(config, env=env)
+    return (builder.build_baseline_substrate() if baseline
+            else builder.build_flashabacus_substrate())
+
+
+def build_system(config: PlatformConfig,
+                 env: Optional[Environment] = None) -> Any:
+    """Instantiate the full system (hardware + software) for ``config``.
+
+    Returns a :class:`repro.baseline.BaselineSystem` for ``SIMD`` and a
+    :class:`repro.core.FlashAbacusAccelerator` for the FlashAbacus
+    schedulers; both expose ``run_workload(kernels, name)``.
+    """
+    # Lazy imports: both system modules import this module.
+    if config.is_baseline:
+        from ..baseline.system import BaselineSystem
+        return BaselineSystem(env=env, config=config)
+    from ..core.accelerator import FlashAbacusAccelerator
+    return FlashAbacusAccelerator(env=env, config=config)

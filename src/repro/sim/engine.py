@@ -59,6 +59,12 @@ class Event:
     it is processed.
     """
 
+    # Every simulated activity allocates events, so they are the hottest
+    # allocation site of the whole engine; __slots__ drops the per-event
+    # dict.  ``_interrupting`` is only set on interrupt-carrier events.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_interrupting")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -120,6 +126,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
@@ -136,6 +144,8 @@ class Process(Event):
     A process is itself an event: it triggers when the generator returns
     (with the generator's return value) or raises.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -172,44 +182,48 @@ class Process(Event):
         self.env._schedule(event, URGENT)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
-        try:
-            if event.ok:
-                result = self._generator.send(event.value)
-            else:
-                result = self._generator.throw(event.value)
-        except StopIteration as stop:
-            self.env._active_process = None
-            self.succeed(stop.value, priority=URGENT)
-            return
-        except BaseException as exc:
-            self.env._active_process = None
-            self.fail(exc, priority=URGENT)
-            return
-        self.env._active_process = None
+        env = self.env
+        generator = self._generator
+        while True:
+            env._active_process = self
+            try:
+                if event.ok:
+                    result = generator.send(event.value)
+                else:
+                    result = generator.throw(event.value)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self.fail(exc, priority=URGENT)
+                return
+            env._active_process = None
 
-        if not isinstance(result, Event):
-            # Yielding something that is not an event is a programming
-            # error in the process; fail the process rather than crashing
-            # the whole simulation loop.
-            self.fail(SimulationError(
-                f"process yielded a non-event: {result!r}"), priority=URGENT)
-            return
-        self._target = result
-        if result.callbacks is not None:
-            result.callbacks.append(self._resume)
-        else:
-            # The yielded event was already processed; resume immediately.
-            immediate = Event(self.env)
-            immediate._triggered = True
-            immediate._ok = result.ok
-            immediate._value = result.value
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate, URGENT)
+            if not isinstance(result, Event):
+                # Yielding something that is not an event is a programming
+                # error in the process; fail the process rather than crashing
+                # the whole simulation loop.
+                self.fail(SimulationError(
+                    f"process yielded a non-event: {result!r}"),
+                    priority=URGENT)
+                return
+            self._target = result
+            if result.callbacks is not None:
+                result.callbacks.append(self._resume)
+                return
+            # The yielded event was already processed: resume synchronously
+            # with its value instead of allocating and scheduling an extra
+            # "immediate" bounce event — this loop is the hottest path of
+            # every simulation.
+            event = result
 
 
 class Condition(Event):
     """Base class for events composed of several sub-events."""
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -241,12 +255,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once every sub-event has triggered."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= len(self.events)
 
 
 class AnyOf(Condition):
     """Triggers as soon as one sub-event has triggered."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._count >= 1

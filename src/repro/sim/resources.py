@@ -27,6 +27,10 @@ class Request(Event):
             yield env.timeout(service_time)
     """
 
+    # Like the base Event: resource/store events are allocated on every
+    # acquisition in the simulation's hottest paths.
+    __slots__ = ("resource", "priority")
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
@@ -119,6 +123,8 @@ class Resource:
 class StoreGet(Event):
     """Pending retrieval of one item from a :class:`Store`."""
 
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._getters.append(self)
@@ -127,6 +133,8 @@ class StoreGet(Event):
 
 class StorePut(Event):
     """Pending insertion of one item into a bounded :class:`Store`."""
+
+    __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)

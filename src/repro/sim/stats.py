@@ -174,6 +174,17 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.samples)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name,
+                "samples": [[s.time, s.value] for s in self.samples]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TimeSeries":
+        series = cls(str(data.get("name", "")))
+        for time, value in data.get("samples", []):  # type: ignore[union-attr]
+            series.record(float(time), float(value))
+        return series
+
 
 class SummaryStats:
     """Min / mean / max / percentile summary over a set of samples."""
@@ -205,7 +216,11 @@ class SummaryStats:
     def mean(self) -> float:
         if not self._values:
             raise ValueError("no samples")
-        return sum(self._values) / len(self._values)
+        # Clamp: float summation can push the quotient a ULP outside
+        # [min, max] (e.g. three identical samples), and a mean outside
+        # the observed range is never meaningful.
+        mean = sum(self._values) / len(self._values)
+        return min(max(mean, self._values[0]), self._values[-1])
 
     @property
     def total(self) -> float:

@@ -46,12 +46,3 @@ def small_hw_spec(tiny_flash_spec) -> HardwareSpec:
     """Prototype spec with the miniature flash backbone swapped in."""
     base = prototype_spec()
     return replace(base, flash=tiny_flash_spec)
-
-
-def run_process(env: Environment, generator):
-    """Drive ``generator`` to completion and return its value."""
-    proc = env.process(generator)
-    env.run()
-    if not proc.ok:
-        raise proc.value
-    return proc.value

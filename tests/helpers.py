@@ -1,0 +1,21 @@
+"""Shared test helpers (imported as ``from helpers import ...``).
+
+Kept outside ``conftest.py`` on purpose: test modules used to do
+``from conftest import run_process``, which breaks when pytest collects
+the repo root — ``conftest`` then resolves to whichever of
+``tests/conftest.py`` / ``benchmarks/conftest.py`` got onto ``sys.path``
+first.  A uniquely named helper module has no such ambiguity.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment
+
+
+def run_process(env: Environment, generator):
+    """Drive ``generator`` to completion and return its value."""
+    proc = env.process(generator)
+    env.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value

@@ -14,7 +14,7 @@ from repro.hw.power import EnergyAccountant
 from repro.sim import Environment
 from repro.workloads import POLYBENCH, build_workload_kernel, homogeneous_workload
 
-from conftest import run_process
+from helpers import run_process
 
 SCALE = 0.02
 

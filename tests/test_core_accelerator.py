@@ -35,6 +35,42 @@ def test_address_space_wraps_instead_of_overflowing():
     assert all(r < 4 * 65536 for r in regions)
 
 
+def test_address_space_wrap_restarts_at_zero():
+    align = 65536
+    space = FlashAddressSpace(capacity_bytes=4 * align, alignment=align)
+    first = [space.output_region(align) for _ in range(4)]
+    assert first == [0, align, 2 * align, 3 * align]
+    # The fifth allocation does not fit: the cursor wraps to the base and
+    # the logical space is reused from the start.
+    assert space.output_region(align) == 0
+    assert space.output_region(align) == align
+
+
+def test_address_space_wrap_overwrites_old_mappings():
+    """After a wrap, new regions silently alias previously handed-out ones."""
+    align = 65536
+    space = FlashAddressSpace(capacity_bytes=2 * align, alignment=align)
+    input_base = space.input_region("ATAX:0", align)
+    assert input_base == 0
+    space.output_region(align)          # fills the second (last) slot
+    overwritten = space.output_region(align)   # wraps onto the input region
+    assert overwritten == input_base
+    # The input mapping is NOT invalidated: the registry still hands out
+    # the now-aliased base address.  This documents the bounded-backbone
+    # reuse semantics the accelerator relies on for oversized workloads.
+    assert space.input_region("ATAX:0", align) == input_base
+
+
+def test_address_space_wrap_respects_alignment_rounding():
+    align = 65536
+    space = FlashAddressSpace(capacity_bytes=3 * align, alignment=align)
+    # A sub-alignment request still consumes one aligned slot.
+    assert space.output_region(1) == 0
+    assert space.output_region(align + 1) == align   # rounds up to 2 slots
+    # Next request does not fit in the remaining 0 bytes: wrap to base.
+    assert space.output_region(align) == 0
+
+
 # --------------------------------------------------------------------------- #
 # End-to-end execution                                                         #
 # --------------------------------------------------------------------------- #

@@ -11,7 +11,7 @@ from repro.hw.memory import DDR3L, Scratchpad
 from repro.hw.power import EnergyAccountant
 from repro.sim import Environment
 
-from conftest import run_process
+from helpers import run_process
 
 
 @pytest.fixture

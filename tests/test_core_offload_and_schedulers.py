@@ -17,7 +17,7 @@ from repro.hw.pcie import PCIeLink
 from repro.hw.power import EnergyAccountant
 from repro.sim import Environment
 
-from conftest import run_process
+from helpers import run_process
 
 
 def make_kernel(app_id=0, instance=0, mblks=2, serial=1, screens=3):

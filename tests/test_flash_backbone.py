@@ -12,7 +12,7 @@ from repro.flash import (
 from repro.hw import EnergyAccountant, prototype_spec
 from repro.sim import Environment
 
-from conftest import run_process
+from helpers import run_process
 
 
 # --------------------------------------------------------------------------- #

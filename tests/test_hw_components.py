@@ -21,7 +21,7 @@ from repro.hw import (
 )
 from repro.sim import Environment
 
-from conftest import run_process
+from helpers import run_process
 
 
 # --------------------------------------------------------------------------- #
