@@ -36,6 +36,13 @@ from .workloads import (
     realworld_workload,
     synthetic_kernel,
 )
+from .serve import (
+    ServingReport,
+    ServingScenario,
+    ServingSession,
+    TenantSpec,
+    run_serving,
+)
 
 __version__ = "1.0.0"
 
@@ -59,5 +66,10 @@ __all__ = [
     "homogeneous_workload",
     "realworld_workload",
     "synthetic_kernel",
+    "ServingReport",
+    "ServingScenario",
+    "ServingSession",
+    "TenantSpec",
+    "run_serving",
     "__version__",
 ]

@@ -133,6 +133,23 @@ class BaselineSystem:
         return report
 
     # ------------------------------------------------------------------ #
+    # Online serving (incremental execution, used by repro.serve)         #
+    # ------------------------------------------------------------------ #
+    def serve_kernel(self, kernel: Kernel):
+        """Process generator: run one request through the conventional path.
+
+        The serving layer dispatches requests one at a time (the
+        conventional system executes kernels strictly serially), so this
+        is simply one iteration of :meth:`_driver` without the batch
+        bookkeeping; end-to-end request latency is measured by the caller
+        from arrival to completion.
+        """
+        breakdown = KernelTimeBreakdown(kernel_name=kernel.name)
+        yield from self._run_kernel(kernel, breakdown)
+        self.breakdowns.append(breakdown)
+        self.completion_times.append(self.env.now)
+
+    # ------------------------------------------------------------------ #
     # Internal processes                                                  #
     # ------------------------------------------------------------------ #
     def _driver(self, kernels: List[Kernel]):

@@ -20,7 +20,7 @@ time series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..sim.engine import Environment, Event
 from ..sim.stats import SummaryStats, TimeSeries
@@ -211,6 +211,13 @@ class FlashAbacusAccelerator:
         self._kernel_regions: Dict[int, Dict[str, int]] = {}
         self._wake: Event = self.env.event()
         self.screens_executed = 0
+        # Online-serving support (repro.serve): while serving, workers park
+        # on the wake event instead of exiting when the scheduler is
+        # momentarily drained, and every kernel completion is announced to
+        # the registered listeners.
+        self._serving = False
+        self._service_procs: List[Any] = []
+        self._completion_listeners: List[Callable[[Kernel, float], None]] = []
 
     # ------------------------------------------------------------------ #
     # Workload execution                                                  #
@@ -285,6 +292,68 @@ class FlashAbacusAccelerator:
         return stats
 
     # ------------------------------------------------------------------ #
+    # Online serving (incremental submission, used by repro.serve)        #
+    # ------------------------------------------------------------------ #
+    def add_completion_listener(
+            self, listener: Callable[[Kernel, float], None]) -> None:
+        """Register ``listener(kernel, now)`` for every kernel completion."""
+        self._completion_listeners.append(listener)
+
+    @property
+    def serving(self) -> bool:
+        return self._serving
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.cluster.workers)
+
+    def begin_service(self) -> None:
+        """Start the worker loops for open-ended request service.
+
+        Unlike :meth:`run_workload`, no batch is offloaded up front:
+        kernels arrive one by one through :meth:`submit_kernel` and the
+        workers park on the wake event whenever the scheduler is drained.
+        The caller owns the event loop (see
+        :class:`repro.serve.session.ServingSession`) and must finish with
+        :meth:`end_service`.
+        """
+        if self._serving:
+            raise RuntimeError("service already started")
+        self._serving = True
+        self._service_procs = [
+            self.env.process(self._worker_loop(idx, lwp))
+            for idx, lwp in enumerate(self.cluster.workers)]
+
+    def submit_kernel(self, kernel: Kernel):
+        """Process generator: offload one kernel at the current sim time.
+
+        Runs the per-kernel offload sequence (PCIe download, interrupt,
+        boot-register update) and hands the kernel to the scheduler —
+        the incremental counterpart of the batch prologue in
+        :meth:`run_workload`.
+        """
+        yield from self.offloader.offload_kernel(kernel)
+        input_base = self.address_space.input_region(
+            f"{kernel.name}:{kernel.app_id}", kernel.input_bytes)
+        output_base = self.address_space.output_region(
+            max(kernel.output_bytes, 1))
+        self._kernel_regions[kernel.kernel_id] = {
+            "input": input_base, "output": output_base}
+        self.scheduler.offload([kernel], now=self.env.now)
+        self._wake_workers()
+
+    def end_service(self) -> None:
+        """Let the worker loops drain and exit once all work completes."""
+        self._serving = False
+        self._wake_workers()
+
+    def check_service_health(self) -> None:
+        """Re-raise any crash that killed a service worker loop."""
+        for proc in self._service_procs:
+            if proc.triggered and not proc.ok:
+                raise proc.value
+
+    # ------------------------------------------------------------------ #
     # Internal processes                                                  #
     # ------------------------------------------------------------------ #
     def _host_offload(self, kernels: List[Kernel]):
@@ -303,7 +372,7 @@ class FlashAbacusAccelerator:
         while True:
             item = self.scheduler.next_work(worker_index)
             if item is None:
-                if self.scheduler.done:
+                if self.scheduler.done and not self._serving:
                     return
                 yield self._wake
                 continue
@@ -346,6 +415,10 @@ class FlashAbacusAccelerator:
         self.scheduler.chain.mark_done(chain, screen_node, self.env.now)
         lwp.screens_executed += 1
         self.screens_executed += 1
+        if chain.complete and self._completion_listeners:
+            # True exactly once, after the kernel's final screen.
+            for listener in list(self._completion_listeners):
+                listener(kernel, self.env.now)
         self._wake_workers()
 
     # ------------------------------------------------------------------ #

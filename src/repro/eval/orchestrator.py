@@ -33,7 +33,7 @@ import traceback
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
-from typing import Dict, List, NamedTuple, Optional, Sequence, Union
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Union
 
 from ..core.accelerator import ExecutionReport
 from ..core.kernel import Kernel
@@ -59,6 +59,33 @@ PARALLEL_ENV = "REPRO_PARALLEL"
 CACHE_REVISION = 1
 
 _WORKLOAD_KINDS = ("homogeneous", "heterogeneous", "realworld")
+
+# --------------------------------------------------------------------------- #
+# Report types                                                                 #
+# --------------------------------------------------------------------------- #
+#: Registry of cacheable report classes by type name.  Every class must
+#: round-trip through ``to_dict``/``from_dict``; the type name is written
+#: next to each on-disk entry so the cache can rebuild the right class.
+#: ``repro.eval.serving`` registers ``"serving"`` for
+#: :class:`~repro.serve.report.ServingReport`.
+_REPORT_CLASSES: Dict[str, type] = {"execution": ExecutionReport}
+
+
+def register_report_class(type_name: str, cls: type) -> None:
+    """Register a report class for cache (de)serialization."""
+    existing = _REPORT_CLASSES.get(type_name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"report type {type_name!r} already registered "
+                         f"for {existing.__name__}")
+    _REPORT_CLASSES[type_name] = cls
+
+
+def _report_type_name(report: Any) -> str:
+    for name, cls in _REPORT_CLASSES.items():
+        if type(report) is cls:
+            return name
+    raise TypeError(f"unregistered report class {type(report).__name__}; "
+                    f"call register_report_class() first")
 
 
 @dataclass(frozen=True)
@@ -193,9 +220,10 @@ def _execute_spec_in_pool(spec: ExperimentSpec):
         # discard every sibling outcome.
         detail = "".join(traceback.format_exception(
             type(value), value, value.__traceback__))
+        key = spec.key
         return False, RuntimeError(
-            f"experiment {spec.workload.name!r} on "
-            f"{spec.config.system} failed with "
+            f"experiment {key.workload!r} on "
+            f"{key.system} failed with "
             f"{type(value).__name__}: {value}\n{detail}")
 
 
@@ -209,19 +237,21 @@ _CACHE_FILE = re.compile(r"^.+__.+__[0-9a-f]{16}(\.json|\.\d+\.tmp)$")
 
 
 class ResultCache:
-    """Two-level (memory + optional on-disk JSON) cache of execution reports.
+    """Two-level (memory + optional on-disk JSON) cache of reports.
 
-    Cached :class:`ExecutionReport` objects are shared, not copied: every
-    hit for a key returns the same instance, so callers must treat
-    returned reports as read-only (mutating one in place would corrupt
-    every later hit for that key).
+    Entries are any registered report class (``execution`` batch reports,
+    ``serving`` open-loop reports, ...) — each on-disk entry records its
+    ``report_type`` so the right class is rebuilt on load.  Cached report
+    objects are shared, not copied: every hit for a key returns the same
+    instance, so callers must treat returned reports as read-only
+    (mutating one in place would corrupt every later hit for that key).
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._memory: Dict[ExperimentKey, ExecutionReport] = {}
+        self._memory: Dict[ExperimentKey, Any] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -231,7 +261,7 @@ class ResultCache:
         stem = "__".join(_SAFE.sub("_", part) for part in key)
         return self.cache_dir / f"{stem}.json"
 
-    def get(self, key: ExperimentKey) -> Optional[ExecutionReport]:
+    def get(self, key: ExperimentKey) -> Optional[Any]:
         if key in self._memory:
             self.hits += 1
             return self._memory[key]
@@ -240,11 +270,13 @@ class ResultCache:
             if path.is_file():
                 try:
                     data = json.loads(path.read_text())
-                    report = ExecutionReport.from_dict(data["report"])
+                    report_cls = _REPORT_CLASSES[
+                        data.get("report_type", "execution")]
+                    report = report_cls.from_dict(data["report"])
                 except (OSError, ValueError, KeyError, TypeError,
                         AttributeError):
-                    # Corrupt, stale, wrong-shaped, or unreadable entry:
-                    # treat as a miss and re-run.
+                    # Corrupt, stale, wrong-shaped, unreadable, or
+                    # unknown-typed entry: treat as a miss and re-run.
                     self.misses += 1
                     return None
                 self._memory[key] = report
@@ -253,15 +285,20 @@ class ResultCache:
         self.misses += 1
         return None
 
-    def put(self, key: ExperimentKey, report: ExecutionReport,
-            spec: Optional[ExperimentSpec] = None) -> None:
+    def put(self, key: ExperimentKey, report: Any,
+            spec: Optional["ExperimentSpec"] = None) -> None:
         self._memory[key] = report
         self.stores += 1
         if self.cache_dir is not None:
-            payload: Dict[str, object] = {"key": list(key),
-                                          "report": report.to_dict()}
-            if spec is not None:
+            payload: Dict[str, object] = {
+                "key": list(key),
+                "report_type": _report_type_name(report),
+                "report": report.to_dict()}
+            if spec is not None and hasattr(spec, "workload"):
                 payload["workload"] = spec.workload.to_dict()
+                payload["config"] = spec.config.to_dict()
+            elif spec is not None and hasattr(spec, "scenario"):
+                payload["scenario"] = spec.scenario.to_dict()
                 payload["config"] = spec.config.to_dict()
             path = self._path(key)
             # Unique temp name: the cache dir may be shared by concurrent
@@ -296,7 +333,14 @@ class ResultCache:
 
 
 class ExperimentOrchestrator:
-    """Registry + cache + (optionally parallel) experiment runner."""
+    """Registry + cache + (optionally parallel) experiment runner.
+
+    Specs are duck-typed: anything with a stable ``.key``
+    (:class:`ExperimentKey`) and a picklable ``.execute()`` returning a
+    registered report class runs through the same registry, cache and
+    pool — batch :class:`ExperimentSpec` and the serving layer's
+    :class:`~repro.eval.serving.ServingExperimentSpec` alike.
+    """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
                  workers: int = 1):
@@ -304,7 +348,7 @@ class ExperimentOrchestrator:
             raise ValueError("workers must be >= 1")
         self.cache = ResultCache(cache_dir)
         self.workers = workers
-        self.registry: Dict[ExperimentKey, ExperimentSpec] = {}
+        self.registry: Dict[ExperimentKey, Any] = {}
         self.simulations_run = 0
 
     @classmethod
@@ -338,7 +382,7 @@ class ExperimentOrchestrator:
     # ------------------------------------------------------------------ #
     # Registry                                                             #
     # ------------------------------------------------------------------ #
-    def register(self, spec: ExperimentSpec) -> ExperimentKey:
+    def register(self, spec: Any) -> ExperimentKey:
         """Record ``spec`` under its key and return the key.
 
         The registry is the queryable record of every experiment this
@@ -350,28 +394,28 @@ class ExperimentOrchestrator:
         self.registry.setdefault(key, spec)
         return key
 
-    def experiments(self) -> List[ExperimentSpec]:
+    def experiments(self) -> List[Any]:
         """Every registered experiment, in first-registration order."""
         return list(self.registry.values())
 
-    def spec_for(self, key: ExperimentKey) -> Optional[ExperimentSpec]:
+    def spec_for(self, key: ExperimentKey) -> Optional[Any]:
         """The spec registered under ``key``, if any."""
         return self.registry.get(key)
 
     # ------------------------------------------------------------------ #
     # Execution                                                            #
     # ------------------------------------------------------------------ #
-    def run(self, specs: Sequence[ExperimentSpec],
+    def run(self, specs: Sequence[Any],
             parallel: Optional[bool] = None
-            ) -> Dict[ExperimentKey, ExecutionReport]:
+            ) -> Dict[ExperimentKey, Any]:
         """Run ``specs``, serving cached results and fanning out the rest.
 
         ``parallel=None`` parallelizes iff the orchestrator was built with
         ``workers > 1``; ``False`` forces the serial in-process path (the
         results are identical — each simulation owns its Environment).
         """
-        results: Dict[ExperimentKey, ExecutionReport] = {}
-        pending: List[ExperimentSpec] = []
+        results: Dict[ExperimentKey, Any] = {}
+        pending: List[Any] = []
         pending_keys: List[ExperimentKey] = []
         pending_seen: set = set()
         for spec in specs:
@@ -424,7 +468,7 @@ class ExperimentOrchestrator:
                 ) from errors[0]
         return results
 
-    def run_one(self, spec: ExperimentSpec) -> ExecutionReport:
+    def run_one(self, spec: Any) -> Any:
         return self.run([spec])[spec.key]
 
     def compare(self, workload: WorkloadSpec, systems: Sequence[str],

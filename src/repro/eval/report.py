@@ -55,6 +55,43 @@ def format_comparison(title: str, metric_by_system: Dict[str, Dict[str, float]],
                                                        float_format)
 
 
+def format_saturation_sweep(curves: Dict[str, Sequence],
+                            slo_s: float = None) -> str:
+    """Render {system: [SaturationPoint]} as one offered-load table.
+
+    One row per (system, offered rate): goodput, admitted/rejected counts
+    and the latency tail.  With ``slo_s`` the per-system SLO knee (highest
+    load with p99 within the SLO) is appended.
+    """
+    headers = ["system", "offered_rps", "goodput_rps", "admitted",
+               "rejected", "slo_viol", "p50_ms", "p95_ms", "p99_ms"]
+    rows = []
+    for system, points in curves.items():
+        for p in points:
+            rows.append([
+                system, p.offered_rps, p.goodput_rps, p.admitted,
+                p.rejected, p.slo_violations,
+                -1.0 if p.p50_s is None else p.p50_s * 1e3,
+                -1.0 if p.p95_s is None else p.p95_s * 1e3,
+                -1.0 if p.p99_s is None else p.p99_s * 1e3,
+            ])
+    text = "Saturation sweep (goodput vs. offered load)\n" \
+        + format_table(headers, rows)
+    if slo_s is not None:
+        from .serving import find_knee
+        knee_lines = []
+        for system, points in curves.items():
+            knee = find_knee(points, slo_s)
+            knee_lines.append(
+                f"  {system}: "
+                + (f"{knee:g} rps" if knee is not None
+                   else f"below sweep range (p99 > {slo_s * 1e3:g} ms "
+                        f"everywhere)"))
+        text += (f"\nSLO knee (highest load with p99 <= "
+                 f"{slo_s * 1e3:g} ms):\n" + "\n".join(knee_lines))
+    return text
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, ignoring non-positive entries."""
     filtered = [v for v in values if v > 0]

@@ -13,8 +13,9 @@ collection.  Timing is applied by the components that use them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from .geometry import FlashGeometry
 
@@ -58,6 +59,10 @@ class PageGroupMappingTable:
     def __init__(self, geometry: FlashGeometry):
         self.geometry = geometry
         self._map: Dict[int, int] = {}
+        # Maintained inverse of _map.  Storengine's GC resolves the
+        # logical owner of every valid group it migrates, so the reverse
+        # direction must be O(1) rather than a table scan.
+        self._reverse: Dict[int, int] = {}
 
     def lookup(self, logical_group: int) -> Optional[int]:
         """Physical group currently backing ``logical_group`` (or None)."""
@@ -68,17 +73,20 @@ class PageGroupMappingTable:
         if logical_group < 0:
             raise ValueError("logical_group must be non-negative")
         old = self._map.get(logical_group)
+        if old is not None and self._reverse.get(old) == logical_group:
+            del self._reverse[old]
         self._map[logical_group] = physical_group
+        self._reverse[physical_group] = logical_group
         return old
 
     def invalidate(self, logical_group: int) -> Optional[int]:
-        return self._map.pop(logical_group, None)
+        old = self._map.pop(logical_group, None)
+        if old is not None and self._reverse.get(old) == logical_group:
+            del self._reverse[old]
+        return old
 
     def reverse_lookup(self, physical_group: int) -> Optional[int]:
-        for logical, physical in self._map.items():
-            if physical == physical_group:
-                return logical
-        return None
+        return self._reverse.get(physical_group)
 
     def __len__(self) -> int:
         return len(self._map)
@@ -105,8 +113,11 @@ class BlockAllocator:
         self.rows: Dict[int, BlockRowState] = {
             r: BlockRowState(r) for r in range(total_rows)
         }
-        self.free_rows: List[int] = list(range(total_rows))
-        self.used_rows: List[int] = []
+        # Both pools are popped from the left on every allocation / GC
+        # cycle; deques make those O(1) where lists would shift the whole
+        # pool (the Storengine GC hot path under sustained writes).
+        self.free_rows: Deque[int] = deque(range(total_rows))
+        self.used_rows: Deque[int] = deque()
         self._active_row: Optional[int] = None
         self.groups_written = 0
 
@@ -130,7 +141,7 @@ class BlockAllocator:
     def _open_new_row(self) -> None:
         if not self.free_rows:
             raise OutOfSpaceError("no free block rows; GC required")
-        self._active_row = self.free_rows.pop(0)
+        self._active_row = self.free_rows.popleft()
         row = self.rows[self._active_row]
         row.next_free_offset = 0
         row.valid_groups.clear()
@@ -149,7 +160,7 @@ class BlockAllocator:
         """Pop the oldest used row (the paper's Storengine victim policy)."""
         if not self.used_rows:
             return None
-        return self.used_rows.pop(0)
+        return self.used_rows.popleft()
 
     def pick_victim_greedy(self) -> Optional[int]:
         """Pick the used row with the fewest valid groups (ablation policy)."""

@@ -1,0 +1,134 @@
+"""Admission control for the multi-tenant serving front-end.
+
+Open-loop traffic does not slow down when the accelerator saturates, so an
+unchecked front-end grows unbounded queues and every request eventually
+misses its deadline.  The admission controller decides, at arrival time,
+whether a request may enter its tenant queue:
+
+* :class:`AlwaysAdmit` — no control (the pure open-loop baseline).
+* :class:`QueueDepthAdmission` — reject when the tenant's queue (or the
+  whole front-end backlog) exceeds a depth bound.
+* :class:`DeadlineAwareAdmission` — estimate the queueing delay from the
+  current backlog and an EWMA of observed service times, and reject
+  requests that would already miss their SLO at dispatch time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .request import Request
+
+
+class FrontendView(Protocol):
+    """What an admission policy may observe about the front-end."""
+
+    def queue_depth(self, tenant: str) -> int: ...
+    @property
+    def total_queued(self) -> int: ...
+    @property
+    def in_flight(self) -> int: ...
+    @property
+    def dispatch_capacity(self) -> int: ...
+
+
+class AdmissionController:
+    """Base policy: admit everything, learn nothing."""
+
+    name = "none"
+
+    def admit(self, request: Request, frontend: FrontendView) -> bool:
+        return True
+
+    def observe_service_time(self, service_s: float) -> None:
+        """Completion feedback (used by estimating policies)."""
+
+
+class AlwaysAdmit(AdmissionController):
+    """The pure open-loop front-end: queues are unbounded."""
+
+    name = "none"
+
+
+class QueueDepthAdmission(AdmissionController):
+    """Bound per-tenant queue depth (and optionally the total backlog)."""
+
+    name = "queue_depth"
+
+    def __init__(self, max_tenant_depth: int = 64,
+                 max_total_depth: Optional[int] = None):
+        if max_tenant_depth < 1:
+            raise ValueError("max_tenant_depth must be >= 1")
+        if max_total_depth is not None and max_total_depth < 1:
+            raise ValueError("max_total_depth must be >= 1")
+        self.max_tenant_depth = max_tenant_depth
+        self.max_total_depth = max_total_depth
+
+    def admit(self, request: Request, frontend: FrontendView) -> bool:
+        if frontend.queue_depth(request.tenant) >= self.max_tenant_depth:
+            return False
+        if self.max_total_depth is not None \
+                and frontend.total_queued >= self.max_total_depth:
+            return False
+        return True
+
+
+class DeadlineAwareAdmission(AdmissionController):
+    """Reject requests whose estimated completion already misses the SLO.
+
+    The wait estimate assumes the backlog ahead of the request (queued
+    plus in-flight work) drains at ``dispatch_capacity`` concurrent
+    requests, each taking the EWMA service time; the request itself then
+    needs one more service time.  Requests without an SLO are admitted
+    (subject to the optional backstop depth bound).
+    """
+
+    name = "deadline"
+
+    def __init__(self, ewma_alpha: float = 0.2,
+                 initial_service_s: float = 0.0,
+                 slack_factor: float = 1.0,
+                 backstop_depth: Optional[int] = None):
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if slack_factor <= 0:
+            raise ValueError("slack_factor must be positive")
+        self.ewma_alpha = ewma_alpha
+        self.service_estimate_s = initial_service_s
+        self.slack_factor = slack_factor
+        self.backstop_depth = backstop_depth
+
+    def observe_service_time(self, service_s: float) -> None:
+        if self.service_estimate_s <= 0:
+            self.service_estimate_s = service_s
+        else:
+            self.service_estimate_s += self.ewma_alpha * (
+                service_s - self.service_estimate_s)
+
+    def estimated_completion_s(self, frontend: FrontendView) -> float:
+        """Estimated queueing delay + service for a request arriving now."""
+        backlog = frontend.total_queued + frontend.in_flight
+        capacity = max(1, frontend.dispatch_capacity)
+        waves = backlog / capacity
+        return (waves + 1.0) * self.service_estimate_s
+
+    def admit(self, request: Request, frontend: FrontendView) -> bool:
+        if self.backstop_depth is not None \
+                and frontend.total_queued >= self.backstop_depth:
+            return False
+        if request.slo_s is None or self.service_estimate_s <= 0:
+            return True
+        return self.estimated_completion_s(frontend) \
+            <= request.slo_s * self.slack_factor
+
+
+def make_admission(policy: str, **kwargs) -> AdmissionController:
+    """Instantiate an admission policy by name (none/queue_depth/deadline)."""
+    if policy in ("none", "always"):
+        return AlwaysAdmit()
+    if policy == "queue_depth":
+        return QueueDepthAdmission(**kwargs)
+    if policy == "deadline":
+        return DeadlineAwareAdmission(**kwargs)
+    raise ValueError(f"unknown admission policy {policy!r}; "
+                     f"choose none, queue_depth or deadline")

@@ -1,0 +1,157 @@
+"""Execution backends for the serving front-end.
+
+A backend turns dispatched requests into kernel executions on one of the
+two systems and reports completions back to the front-end:
+
+* :class:`AcceleratorBackend` — FlashAbacus in service mode: each request
+  is offloaded incrementally (PCIe download + boot sequence) and handed
+  to the multi-kernel scheduler; capacity is one request per worker LWP.
+* :class:`BaselineBackend` — the conventional ``SIMD`` system: strictly
+  serial, one request at a time through the SSD -> host -> PCIe path.
+
+Both expose the same tiny surface the dispatcher relies on:
+``capacity``, ``in_flight`` and ``dispatch(record, on_complete)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..baseline.system import BaselineSystem
+from ..core.accelerator import FlashAbacusAccelerator
+from ..core.kernel import Kernel
+from .request import Request, RequestRecord
+
+KernelFactory = Callable[[Request], Kernel]
+CompletionCallback = Callable[[RequestRecord, float], None]
+
+
+class ServingBackend:
+    """Common bookkeeping: in-flight count and crash surfacing."""
+
+    def __init__(self, env, kernel_factory: KernelFactory, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.kernel_factory = kernel_factory
+        self.capacity = capacity
+        self.in_flight = 0
+        self.dispatched = 0
+        self._procs: List = []
+
+    def start(self) -> None:
+        """Called once before the first dispatch."""
+
+    def dispatch(self, record: RequestRecord,
+                 on_complete: CompletionCallback) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Called once after the last completion."""
+
+    def check_health(self) -> None:
+        """Re-raise crashes from backend-owned simulation processes.
+
+        Completed-ok processes are pruned so the scan stays bounded by
+        the in-flight count (this runs after every simulation step).
+        """
+        alive = []
+        for proc in self._procs:
+            if proc.triggered:
+                if not proc.ok:
+                    raise proc.value
+            else:
+                alive.append(proc)
+        self._procs = alive
+
+    @property
+    def energy_j(self) -> float:
+        return 0.0
+
+
+class AcceleratorBackend(ServingBackend):
+    """FlashAbacus in service mode: multi-kernel scheduling of requests."""
+
+    def __init__(self, accelerator: FlashAbacusAccelerator,
+                 kernel_factory: KernelFactory):
+        super().__init__(accelerator.env, kernel_factory,
+                         capacity=accelerator.worker_count)
+        self.accelerator = accelerator
+        self._pending: Dict[int, Tuple[RequestRecord,
+                                       CompletionCallback]] = {}
+        accelerator.add_completion_listener(self._on_kernel_complete)
+
+    def start(self) -> None:
+        self.accelerator.begin_service()
+
+    def dispatch(self, record: RequestRecord,
+                 on_complete: CompletionCallback) -> None:
+        kernel = self.kernel_factory(record.request)
+        self._pending[kernel.kernel_id] = (record, on_complete)
+        self.in_flight += 1
+        self.dispatched += 1
+        self._procs.append(
+            self.env.process(self.accelerator.submit_kernel(kernel)))
+
+    def _on_kernel_complete(self, kernel: Kernel, now: float) -> None:
+        entry = self._pending.pop(kernel.kernel_id, None)
+        if entry is None:       # not one of ours (e.g. a mixed-use run)
+            return
+        record, on_complete = entry
+        self.in_flight -= 1
+        on_complete(record, now)
+
+    def finish(self) -> None:
+        self.accelerator.end_service()
+        # Stop the background loop, then flush the buffered flash writes
+        # (mirrors run_workload): stop() alone would drop any bytes
+        # buffered since Storengine's last poll and undercount storage
+        # energy.  The drain process runs during the session's
+        # quiescence loop.
+        self.accelerator.storengine.stop()
+        self._procs.append(
+            self.env.process(self.accelerator.storengine.drain()))
+
+    def check_health(self) -> None:
+        super().check_health()
+        self.accelerator.check_service_health()
+
+    @property
+    def energy_j(self) -> float:
+        return self.accelerator.energy.breakdown.total
+
+    def scheduler_stats(self) -> Dict[str, float]:
+        return self.accelerator._scheduler_stats()
+
+
+class BaselineBackend(ServingBackend):
+    """The conventional system: strictly serial request execution."""
+
+    def __init__(self, system: BaselineSystem,
+                 kernel_factory: KernelFactory):
+        super().__init__(system.env, kernel_factory, capacity=1)
+        self.system = system
+
+    def dispatch(self, record: RequestRecord,
+                 on_complete: CompletionCallback) -> None:
+        self.in_flight += 1
+        self.dispatched += 1
+        self._procs.append(self.env.process(
+            self._serve(record, on_complete)))
+
+    def _serve(self, record: RequestRecord,
+               on_complete: CompletionCallback):
+        kernel = self.kernel_factory(record.request)
+        yield from self.system.serve_kernel(kernel)
+        self.in_flight -= 1
+        on_complete(record, self.env.now)
+
+    @property
+    def energy_j(self) -> float:
+        return self.system.energy.breakdown.total
+
+    def scheduler_stats(self) -> Dict[str, float]:
+        return {
+            "ssd_reads": float(self.system.ssd.read_requests),
+            "ssd_writes": float(self.system.ssd.write_requests),
+        }

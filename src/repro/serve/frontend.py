@@ -1,0 +1,132 @@
+"""Multi-tenant serving front-end: queues, admission, dispatcher.
+
+The front-end sits between the open-loop arrival stream and an execution
+backend (:mod:`repro.serve.backends`).  Every arriving request passes the
+admission controller; admitted requests wait in their tenant's FIFO queue
+until the dispatcher — a simulation process woken by arrivals and
+completions — hands them to the backend, keeping at most
+``backend.capacity`` requests in flight (one per worker LWP on the
+accelerator, one total on the strictly serial SIMD baseline).  Tenant
+queues are served round-robin so one bursty tenant cannot starve the
+others at the dispatch point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Sequence
+
+from ..sim.engine import Environment, Event
+from .admission import AdmissionController
+from .backends import ServingBackend
+from .request import Request, RequestRecord, RequestStatus
+from .slo import SLOTracker
+
+
+class ServingFrontend:
+    """Per-tenant queues + admission + round-robin dispatcher."""
+
+    def __init__(self, env: Environment, backend: ServingBackend,
+                 admission: AdmissionController, tracker: SLOTracker,
+                 tenants: Sequence[str]):
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        self.env = env
+        self.backend = backend
+        self.admission = admission
+        self.tracker = tracker
+        self.queues: Dict[str, Deque[RequestRecord]] = {
+            tenant: deque() for tenant in tenants}
+        self.records: List[RequestRecord] = []
+        self._order = list(tenants)
+        self._next_tenant = 0
+        self._open = True
+        self._wake: Event = env.event()
+        self._dispatcher = env.process(self._dispatch_loop())
+
+    # ------------------------------------------------------------------ #
+    # FrontendView protocol (what admission policies may observe)         #
+    # ------------------------------------------------------------------ #
+    def queue_depth(self, tenant: str) -> int:
+        return len(self.queues[tenant])
+
+    @property
+    def total_queued(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    @property
+    def in_flight(self) -> int:
+        return self.backend.in_flight
+
+    @property
+    def dispatch_capacity(self) -> int:
+        return self.backend.capacity
+
+    # ------------------------------------------------------------------ #
+    # Arrival side                                                        #
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> RequestRecord:
+        """Admit-or-reject ``request`` at the current simulation time."""
+        if request.tenant not in self.queues:
+            raise ValueError(f"unknown tenant {request.tenant!r}")
+        record = RequestRecord(request=request)
+        self.records.append(record)
+        self.tracker.on_offered(request.tenant)
+        if not self.admission.admit(request, self):
+            record.status = RequestStatus.REJECTED
+            self.tracker.on_rejected(request.tenant)
+            return record
+        record.admitted_at = self.env.now
+        self.tracker.on_admitted(request.tenant)
+        self.queues[request.tenant].append(record)
+        self._kick()
+        return record
+
+    def close(self) -> None:
+        """No more arrivals: the dispatcher may exit once drained."""
+        self._open = False
+        self._kick()
+
+    @property
+    def drained(self) -> bool:
+        return (not self._open and self.total_queued == 0
+                and self.backend.in_flight == 0)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch side                                                       #
+    # ------------------------------------------------------------------ #
+    def _kick(self) -> None:
+        wake, self._wake = self._wake, self.env.event()
+        if not wake.triggered:
+            wake.succeed()
+
+    def _pop_next(self) -> RequestRecord:
+        """Round-robin over non-empty tenant queues."""
+        for _ in range(len(self._order)):
+            tenant = self._order[self._next_tenant]
+            self._next_tenant = (self._next_tenant + 1) % len(self._order)
+            queue = self.queues[tenant]
+            if queue:
+                return queue.popleft()
+        raise RuntimeError("no queued request to pop")
+
+    def _dispatch_loop(self):
+        while True:
+            while (self.backend.in_flight < self.backend.capacity
+                   and self.total_queued > 0):
+                record = self._pop_next()
+                record.dispatched_at = self.env.now
+                record.status = RequestStatus.RUNNING
+                self.backend.dispatch(record, self._on_complete)
+            if self.drained:
+                return
+            yield self._wake
+
+    def _on_complete(self, record: RequestRecord, now: float) -> None:
+        record.completed_at = now
+        record.status = RequestStatus.COMPLETED
+        self.tracker.on_completed(record)
+        service = record.service_s
+        if service is not None and service > 0:
+            self.admission.observe_service_time(service)
+        self._kick()

@@ -1,0 +1,83 @@
+"""Request model for the online serving subsystem.
+
+A :class:`Request` is one timestamped kernel-offload demand emitted by an
+arrival process: a tenant asks for one instance of a Table-2 kernel at a
+given simulation time, optionally with a latency SLO.  The front-end wraps
+each request in a :class:`RequestRecord` that accumulates the lifecycle
+timestamps the SLO accounting is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Request:
+    """One kernel-offload request emitted by an arrival process."""
+
+    request_id: int
+    tenant: str
+    workload: str               # Table-2 kernel name, e.g. "ATAX"
+    arrival_s: float            # absolute simulation time of arrival
+    slo_s: Optional[float] = None   # end-to-end latency objective
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        if self.slo_s is None:
+            return None
+        return self.arrival_s + self.slo_s
+
+
+class RequestStatus(Enum):
+    """Lifecycle of one request inside the serving front-end."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class RequestRecord:
+    """Per-request bookkeeping: admission decision plus timestamps."""
+
+    request: Request
+    status: RequestStatus = RequestStatus.QUEUED
+    admitted_at: Optional[float] = None
+    dispatched_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end latency: arrival to completion."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.request.arrival_s
+
+    @property
+    def queue_delay_s(self) -> Optional[float]:
+        if self.dispatched_at is None:
+            return None
+        return self.dispatched_at - self.request.arrival_s
+
+    @property
+    def service_s(self) -> Optional[float]:
+        if self.completed_at is None or self.dispatched_at is None:
+            return None
+        return self.completed_at - self.dispatched_at
+
+    @property
+    def slo_met(self) -> Optional[bool]:
+        """True/False once completed (None while in flight or rejected)."""
+        if self.completed_at is None:
+            return None
+        if self.request.slo_s is None:
+            return True
+        return self.latency_s <= self.request.slo_s

@@ -1,0 +1,323 @@
+"""Serving scenario description and the session engine that runs it.
+
+A :class:`ServingScenario` is the declarative, serializable description of
+one open-loop serving run: which arrival process at which offered load,
+for how long, over which tenants and Table-2 kernels, under which
+admission policy.  Like :class:`~repro.platform.PlatformConfig` it
+round-trips losslessly through plain dicts, so the experiment orchestrator
+can key its result cache on the scenario content.
+
+:class:`ServingSession` executes a scenario on one system (a FlashAbacus
+scheduler or the ``SIMD`` baseline): it builds the platform, generates the
+arrival trace, schedules the arrivals into the front-end, drives the
+simulation until every request has settled, and assembles a
+:class:`~repro.serve.report.ServingReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..baseline.system import BaselineSystem
+from ..core.accelerator import FlashAbacusAccelerator
+from ..core.kernel import Kernel
+from ..platform.config import PlatformConfig
+from ..workloads.characteristics import lookup
+from ..workloads.polybench import (
+    DEFAULT_SCREENS_PER_MICROBLOCK,
+    build_workload_kernel,
+)
+from .admission import make_admission
+from .arrivals import (
+    DEFAULT_WORKLOAD_POOL,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TenantSpec,
+    TraceArrivals,
+)
+from .backends import AcceleratorBackend, BaselineBackend, ServingBackend
+from .frontend import ServingFrontend
+from .report import ServingReport
+from .request import Request
+from .slo import REPORT_PERCENTILES, SLOTracker
+
+ARRIVAL_PROCESSES = ("poisson", "mmpp", "diurnal", "trace")
+
+#: Default tenant set: two equal-share tenants with the same SLO, so the
+#: multi-tenant path is exercised even by one-line experiments.
+DEFAULT_TENANTS: Tuple[TenantSpec, ...] = (
+    TenantSpec("tenant-a", 1.0, 1.0),
+    TenantSpec("tenant-b", 1.0, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """Declarative description of one open-loop serving run.
+
+    ``offered_rps`` is the base rate of the arrival process (the peak rate
+    for ``diurnal``; ignored for ``trace``).  All fields are hashable
+    plain data so scenarios can key the experiment registry/cache.
+    """
+
+    process: str = "poisson"
+    offered_rps: float = 20.0
+    duration_s: float = 10.0
+    seed: int = 1
+    workloads: Tuple[str, ...] = DEFAULT_WORKLOAD_POOL
+    tenants: Tuple[TenantSpec, ...] = DEFAULT_TENANTS
+    admission: str = "queue_depth"
+    max_queue_depth: int = 64
+    # MMPP (bursty) parameters
+    mmpp_burst_factor: float = 4.0
+    mmpp_normal_dwell_s: float = 2.0
+    mmpp_burst_dwell_s: float = 0.5
+    # Diurnal-ramp parameters
+    diurnal_period_s: float = 60.0
+    diurnal_floor: float = 0.2
+    # Trace replay: (arrival_s, tenant, workload) triples
+    trace_events: Tuple[Tuple[float, str, str], ...] = ()
+    # SLO accounting
+    reservoir_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(f"unknown arrival process {self.process!r}; "
+                             f"choose from {ARRIVAL_PROCESSES}")
+        if self.process != "trace" and self.offered_rps <= 0:
+            raise ValueError("offered_rps must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+        if self.process == "trace" and not self.trace_events:
+            raise ValueError("trace scenarios need trace_events")
+
+    @property
+    def label(self) -> str:
+        """Cache/registry identity prefix, e.g. ``serve-poisson-40rps``."""
+        return f"serve-{self.process}-{self.offered_rps:g}rps"
+
+    # ------------------------------------------------------------------ #
+    # Factories                                                           #
+    # ------------------------------------------------------------------ #
+    def make_arrivals(self) -> ArrivalProcess:
+        if self.process == "poisson":
+            return PoissonArrivals(self.offered_rps, self.tenants,
+                                   self.workloads, self.seed)
+        if self.process == "mmpp":
+            return MMPPArrivals(self.offered_rps, self.tenants,
+                                self.workloads, self.seed,
+                                burst_factor=self.mmpp_burst_factor,
+                                normal_dwell_s=self.mmpp_normal_dwell_s,
+                                burst_dwell_s=self.mmpp_burst_dwell_s)
+        if self.process == "diurnal":
+            return DiurnalArrivals(self.offered_rps, self.tenants,
+                                   self.workloads, self.seed,
+                                   period_s=self.diurnal_period_s,
+                                   floor_fraction=self.diurnal_floor)
+        return TraceArrivals(list(self.trace_events), self.tenants,
+                             self.seed)
+
+    def make_admission(self):
+        if self.admission == "queue_depth":
+            return make_admission("queue_depth",
+                                  max_tenant_depth=self.max_queue_depth)
+        return make_admission(self.admission)
+
+    # ------------------------------------------------------------------ #
+    # Serialization                                                       #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "process": self.process,
+            "offered_rps": self.offered_rps,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "workloads": list(self.workloads),
+            "tenants": [[t.name, t.weight, t.slo_s] for t in self.tenants],
+            "admission": self.admission,
+            "max_queue_depth": self.max_queue_depth,
+            "mmpp_burst_factor": self.mmpp_burst_factor,
+            "mmpp_normal_dwell_s": self.mmpp_normal_dwell_s,
+            "mmpp_burst_dwell_s": self.mmpp_burst_dwell_s,
+            "diurnal_period_s": self.diurnal_period_s,
+            "diurnal_floor": self.diurnal_floor,
+            "trace_events": [list(e) for e in self.trace_events],
+            "reservoir_capacity": self.reservoir_capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServingScenario":
+        tenants = tuple(TenantSpec(name, weight, slo)
+                        for name, weight, slo in data.get("tenants", []))
+        trace = tuple((float(t), str(tenant), str(workload))
+                      for t, tenant, workload
+                      in data.get("trace_events", []))
+        return cls(
+            process=str(data.get("process", "poisson")),
+            offered_rps=float(data.get("offered_rps", 20.0)),
+            duration_s=float(data.get("duration_s", 10.0)),
+            seed=int(data.get("seed", 1)),
+            workloads=tuple(data.get("workloads", DEFAULT_WORKLOAD_POOL)),
+            tenants=tenants or DEFAULT_TENANTS,
+            admission=str(data.get("admission", "queue_depth")),
+            max_queue_depth=int(data.get("max_queue_depth", 64)),
+            mmpp_burst_factor=float(data.get("mmpp_burst_factor", 4.0)),
+            mmpp_normal_dwell_s=float(data.get("mmpp_normal_dwell_s", 2.0)),
+            mmpp_burst_dwell_s=float(data.get("mmpp_burst_dwell_s", 0.5)),
+            diurnal_period_s=float(data.get("diurnal_period_s", 60.0)),
+            diurnal_floor=float(data.get("diurnal_floor", 0.2)),
+            trace_events=trace,
+            reservoir_capacity=int(data.get("reservoir_capacity", 4096)),
+        )
+
+    def with_overrides(self, **kwargs) -> "ServingScenario":
+        from dataclasses import replace
+        return replace(self, **kwargs)
+
+
+class ServingSession:
+    """Runs one :class:`ServingScenario` on one configured system."""
+
+    def __init__(self, scenario: ServingScenario, config: PlatformConfig):
+        self.scenario = scenario
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Kernel construction                                                 #
+    # ------------------------------------------------------------------ #
+    def _kernel_factory(self):
+        tenant_index = {t.name: i for i, t in
+                        enumerate(self.scenario.tenants)}
+        input_scale = self.config.input_scale
+
+        def build(request: Request) -> Kernel:
+            characteristics = lookup(request.workload)
+            return build_workload_kernel(
+                characteristics,
+                app_id=tenant_index[request.tenant],
+                instance=request.request_id,
+                screens_per_microblock=DEFAULT_SCREENS_PER_MICROBLOCK,
+                input_scale=input_scale)
+
+        return build
+
+    def _build_backend(self) -> ServingBackend:
+        factory = self._kernel_factory()
+        if self.config.is_baseline:
+            return BaselineBackend(BaselineSystem(config=self.config),
+                                   factory)
+        return AcceleratorBackend(
+            FlashAbacusAccelerator(config=self.config), factory)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _arrival_driver(env, frontend: ServingFrontend,
+                        requests: List[Request]):
+        for request in requests:
+            delay = request.arrival_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            frontend.submit(request)
+        frontend.close()
+
+    def run(self) -> ServingReport:
+        scenario = self.scenario
+        backend = self._build_backend()
+        env = backend.env
+        tenants = [t.name for t in scenario.tenants]
+        tracker = SLOTracker(tenants,
+                             reservoir_capacity=scenario.reservoir_capacity,
+                             seed=scenario.seed)
+        frontend = ServingFrontend(env, backend, scenario.make_admission(),
+                                   tracker, tenants)
+        requests = scenario.make_arrivals().generate(scenario.duration_s)
+        backend.start()
+        env.process(self._arrival_driver(env, frontend, requests))
+        expected = len(requests)
+        # Stall detection: an exhausted event queue can never happen on
+        # the accelerator backend (Storengine polls perpetually until
+        # stopped), so progress is what is watched — if no request
+        # settles for a generous simulated span, the run is wedged.
+        stall_horizon = max(60.0, 10.0 * scenario.duration_s)
+        last_settled = -1
+        last_progress = env.now
+        while tracker.settled < expected:
+            if env.peek() == float("inf"):
+                raise RuntimeError(
+                    f"serving run stalled: {tracker.settled}/{expected} "
+                    f"requests settled at t={env.now:.3f}s")
+            if tracker.settled != last_settled:
+                last_settled = tracker.settled
+                last_progress = env.now
+            elif env.now - last_progress > stall_horizon:
+                raise RuntimeError(
+                    f"serving run stalled: no request settled for "
+                    f"{stall_horizon:.0f} simulated seconds "
+                    f"({tracker.settled}/{expected} settled at "
+                    f"t={env.now:.3f}s)")
+            env.step()
+            backend.check_health()
+        backend.finish()
+        # Drain the remaining background work (Storengine flush/GC on the
+        # accelerator) so energy accounting covers every byte served.
+        while env.peek() != float("inf"):
+            env.step()
+        backend.check_health()
+        return self._assemble_report(backend, tracker)
+
+    # ------------------------------------------------------------------ #
+    # Report assembly                                                     #
+    # ------------------------------------------------------------------ #
+    def _assemble_report(self, backend: ServingBackend,
+                         tracker: SLOTracker) -> ServingReport:
+        scenario = self.scenario
+        aggregate = tracker.aggregate
+        duration = scenario.duration_s
+        latency: Dict[str, Optional[float]] = {}
+        for pct in REPORT_PERCENTILES:
+            latency[f"p{pct:g}_s"] = aggregate.percentile(pct)
+        latency["mean_s"] = (aggregate.latency.mean
+                             if aggregate.latency.count else None)
+        latency["max_s"] = (aggregate.latency.max
+                            if aggregate.latency.count else None)
+        # The environment is quiescent by now, so the clock reads the end
+        # of the last piece of work (completion or background drain).
+        makespan_s = backend.env.now
+        stats_fn = getattr(backend, "scheduler_stats", None)
+        return ServingReport(
+            system=self.config.system,
+            workload=scenario.label,
+            duration_s=duration,
+            makespan_s=makespan_s,
+            offered=aggregate.offered,
+            admitted=aggregate.admitted,
+            rejected=aggregate.rejected,
+            completed=aggregate.completed,
+            slo_violations=aggregate.slo_violations,
+            offered_rps=aggregate.offered / duration,
+            goodput_rps=aggregate.goodput_rps(duration),
+            latency=latency,
+            per_tenant={tenant: tracker.account(tenant).as_dict(duration)
+                        for tenant in tracker.tenants()},
+            energy_j=backend.energy_j,
+            scheduler_stats=dict(stats_fn()) if stats_fn else {},
+        )
+
+
+def run_serving(scenario: ServingScenario,
+                config: Optional[PlatformConfig] = None,
+                system: Optional[str] = None) -> ServingReport:
+    """Convenience wrapper: run one scenario on one system."""
+    if config is None:
+        config = PlatformConfig(system=system) if system \
+            else PlatformConfig()
+    elif system is not None:
+        config = config.with_system(system)
+    return ServingSession(scenario, config).run()

@@ -14,6 +14,7 @@ from .resources import BandwidthPipe, Resource, Store, TransferRecord
 from .stats import (
     Counter,
     IntervalAccumulator,
+    LatencyReservoir,
     Sample,
     SummaryStats,
     TimeSeries,
@@ -35,6 +36,7 @@ __all__ = [
     "TransferRecord",
     "Counter",
     "IntervalAccumulator",
+    "LatencyReservoir",
     "Sample",
     "SummaryStats",
     "TimeSeries",

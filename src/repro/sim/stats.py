@@ -9,11 +9,15 @@ models:
   signal (queue depths, active-core counts, instantaneous power).
 * :class:`TimeSeries` — raw (time, value) samples for Fig. 15-style plots.
 * :class:`SummaryStats` — min/avg/max/percentile helper over samples.
+* :class:`LatencyReservoir` — bounded streaming sample reservoir with exact
+  count/mean/min/max and :class:`SummaryStats`-based percentiles, used by
+  the serving layer's per-tenant SLO accounting.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -245,3 +249,127 @@ class SummaryStats:
     def as_dict(self) -> Dict[str, float]:
         return {"min": self.min, "mean": self.mean, "max": self.max,
                 "count": float(self.count)}
+
+
+class LatencyReservoir:
+    """Streaming latency accumulator with bounded memory.
+
+    Open-loop serving runs observe one latency sample per request — far too
+    many to keep verbatim at scale.  The reservoir keeps exact running
+    aggregates (count, total, min, max) plus a uniform sample of at most
+    ``capacity`` values maintained with Vitter's Algorithm R under a
+    deterministic, seeded RNG, so percentile queries stay cheap and results
+    are reproducible for a fixed seed.  Percentiles are answered through
+    :class:`SummaryStats` over the current sample: exact while the stream
+    fits in the reservoir, a uniform-sample estimate beyond that.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one latency sample."""
+        if value < 0:
+            raise ValueError("latency samples must be non-negative")
+        self._count += 1
+        self._total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    # -- exact aggregates ---------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples")
+        return self._total / self._count
+
+    @property
+    def min(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    @property
+    def saturated(self) -> bool:
+        """True once percentiles are estimates over a uniform sample."""
+        return self._count > self.capacity
+
+    # -- percentiles ---------------------------------------------------------
+    def summary(self) -> SummaryStats:
+        """A :class:`SummaryStats` over the reservoir's current sample."""
+        return SummaryStats(self._samples)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over the reservoir sample."""
+        if pct >= 100.0 and self._count:
+            return self._max     # the exact maximum is always tracked
+        return self.summary().percentile(pct)
+
+    def percentiles(self, pcts: Sequence[float] = (50.0, 95.0, 99.0, 99.9)
+                    ) -> Dict[float, float]:
+        """Several percentiles from one sorted pass (p50/p95/p99/p99.9)."""
+        summary = self.summary()
+        return {pct: (self._max if pct >= 100.0 else summary.percentile(pct))
+                for pct in pcts}
+
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the experiment cache.
+
+        The RNG state is not captured: a deserialized reservoir answers
+        queries identically but is not meant to keep observing.
+        """
+        return {
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "count": self._count,
+            "total": self._total,
+            "min": None if self._count == 0 else self._min,
+            "max": None if self._count == 0 else self._max,
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyReservoir":
+        reservoir = cls(capacity=int(data["capacity"]),
+                        seed=int(data["seed"]))
+        reservoir._samples = [float(v) for v in data["samples"]]
+        reservoir._count = int(data["count"])
+        reservoir._total = float(data["total"])
+        reservoir._min = (math.inf if data["min"] is None
+                          else float(data["min"]))
+        reservoir._max = (-math.inf if data["max"] is None
+                          else float(data["max"]))
+        return reservoir
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -29,6 +29,7 @@ from .mixes import (
     mix_applications,
 )
 from .generator import random_characteristics, serial_sweep_kernels, synthetic_kernel
+from .traces import TraceEvent, load_trace, synthetic_trace, write_trace
 
 __all__ = [
     "COMPUTE_INTENSIVE",
@@ -58,4 +59,8 @@ __all__ = [
     "random_characteristics",
     "serial_sweep_kernels",
     "synthetic_kernel",
+    "TraceEvent",
+    "load_trace",
+    "synthetic_trace",
+    "write_trace",
 ]

@@ -1,0 +1,69 @@
+"""Arrival-trace helpers for the serving subsystem.
+
+Serving scenarios can replay explicit request traces
+(:class:`repro.serve.arrivals.TraceArrivals`).  This module provides the
+trace file format (JSON lines: one ``{"arrival_s", "tenant", "workload"}``
+object per line), writers/loaders, and a deterministic synthetic trace
+builder useful for tests and demos — a reproducible stand-in for a
+production request log.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from .characteristics import lookup
+
+TraceEvent = Tuple[float, str, str]     # (arrival_s, tenant, workload)
+
+
+def write_trace(path: Union[str, Path],
+                events: Sequence[TraceEvent]) -> None:
+    """Write events as a JSON-lines trace file (time-sorted)."""
+    lines = [json.dumps({"arrival_s": arrival, "tenant": tenant,
+                         "workload": workload})
+             for arrival, tenant, workload
+             in sorted(events, key=lambda e: e[0])]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSON-lines trace file back into event triples."""
+    events: List[TraceEvent] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append((float(record["arrival_s"]), str(record["tenant"]),
+                       str(record["workload"])))
+    return sorted(events, key=lambda e: e[0])
+
+
+def synthetic_trace(duration_s: float, rate_rps: float,
+                    tenants: Sequence[str] = ("tenant-a", "tenant-b"),
+                    workloads: Sequence[str] = ("ATAX", "MVT"),
+                    seed: int = 1) -> List[TraceEvent]:
+    """A deterministic Poisson-like trace over the given pools.
+
+    Unlike the live arrival processes this is a plain event list, so it
+    can be saved with :func:`write_trace` and replayed bit-identically by
+    any scenario that names the same tenants.
+    """
+    if duration_s <= 0 or rate_rps <= 0:
+        raise ValueError("duration_s and rate_rps must be positive")
+    if not tenants or not workloads:
+        raise ValueError("tenants and workloads must be non-empty")
+    for name in workloads:
+        lookup(name)            # fail fast on unknown Table-2 names
+    rng = random.Random(seed)
+    events: List[TraceEvent] = []
+    t = rng.expovariate(rate_rps)
+    while t < duration_s:
+        events.append((t, tenants[rng.randrange(len(tenants))],
+                       workloads[rng.randrange(len(workloads))]))
+        t += rng.expovariate(rate_rps)
+    return events

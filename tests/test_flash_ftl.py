@@ -70,7 +70,7 @@ def test_allocator_moves_full_rows_to_used_pool(geometry):
     allocator = BlockAllocator(geometry, overprovision=0.1)
     for _ in range(allocator.groups_per_row):
         allocator.allocate_group()
-    assert allocator.used_rows == [0]
+    assert list(allocator.used_rows) == [0]
 
 
 def test_allocator_out_of_space(geometry):
@@ -128,3 +128,49 @@ def test_allocator_needs_gc_when_free_pool_shrinks(geometry):
 def test_allocator_rejects_bad_overprovision(geometry):
     with pytest.raises(ValueError):
         BlockAllocator(geometry, overprovision=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Reverse mapping maintenance                                                  #
+# --------------------------------------------------------------------------- #
+def test_reverse_lookup_tracks_remaps(geometry):
+    table = PageGroupMappingTable(geometry)
+    table.update(3, 30)
+    table.update(4, 40)
+    assert table.reverse_lookup(30) == 3
+    # Remapping logical 3 releases physical 30 from the reverse direction.
+    table.update(3, 31)
+    assert table.reverse_lookup(30) is None
+    assert table.reverse_lookup(31) == 3
+    assert table.reverse_lookup(40) == 4
+
+
+def test_reverse_lookup_tracks_invalidate(geometry):
+    table = PageGroupMappingTable(geometry)
+    table.update(7, 70)
+    assert table.invalidate(7) == 70
+    assert table.reverse_lookup(70) is None
+    # Invalidating an unmapped logical group is a no-op.
+    assert table.invalidate(7) is None
+
+
+def test_reverse_lookup_consistent_under_churn(geometry):
+    """reverse_lookup must agree with a full scan after arbitrary churn."""
+    table = PageGroupMappingTable(geometry)
+    import random
+    rng = random.Random(17)
+    next_physical = 0
+    for _ in range(500):
+        logical = rng.randrange(32)
+        if rng.random() < 0.25:
+            table.invalidate(logical)
+        else:
+            table.update(logical, next_physical)
+            next_physical += 1
+    forward = {log: table.lookup(log) for log in table.mapped_groups()}
+    for logical, physical in forward.items():
+        assert table.reverse_lookup(physical) == logical
+    for physical in range(next_physical):
+        logical = table.reverse_lookup(physical)
+        if logical is not None:
+            assert forward[logical] == physical

@@ -167,3 +167,75 @@ def test_summary_stats_percentile_bounds():
     stats = SummaryStats([1.0])
     with pytest.raises(ValueError):
         stats.percentile(101)
+
+
+# --------------------------------------------------------------------------- #
+# LatencyReservoir                                                             #
+# --------------------------------------------------------------------------- #
+def test_reservoir_exact_below_capacity():
+    from repro.sim.stats import LatencyReservoir
+    reservoir = LatencyReservoir(capacity=100, seed=3)
+    values = [float(v) for v in range(1, 51)]
+    for v in values:
+        reservoir.observe(v)
+    assert reservoir.count == 50
+    assert not reservoir.saturated
+    assert reservoir.min == 1.0
+    assert reservoir.max == 50.0
+    assert reservoir.mean == pytest.approx(sum(values) / 50)
+    assert reservoir.percentile(50) == 25.0
+    assert reservoir.percentile(100) == 50.0
+    assert reservoir.percentiles((50.0, 99.0))[99.0] == 50.0
+
+
+def test_reservoir_bounded_memory_and_sane_estimates():
+    from repro.sim.stats import LatencyReservoir
+    reservoir = LatencyReservoir(capacity=256, seed=7)
+    for v in range(10_000):
+        reservoir.observe(float(v))
+    assert len(reservoir) == 256
+    assert reservoir.saturated
+    assert reservoir.count == 10_000
+    assert reservoir.min == 0.0
+    assert reservoir.max == 9999.0
+    # The uniform-sample median must land near the true median.
+    assert 3000.0 < reservoir.percentile(50) < 7000.0
+    # p100 is always the exact maximum, even when sampled.
+    assert reservoir.percentile(100) == 9999.0
+
+
+def test_reservoir_deterministic_for_fixed_seed():
+    from repro.sim.stats import LatencyReservoir
+    def fill(seed):
+        r = LatencyReservoir(capacity=64, seed=seed)
+        for v in range(1000):
+            r.observe(float(v % 97))
+        return r.to_dict()
+    assert fill(11) == fill(11)
+    assert fill(11) != fill(12)
+
+
+def test_reservoir_roundtrip():
+    from repro.sim.stats import LatencyReservoir
+    reservoir = LatencyReservoir(capacity=32, seed=5)
+    for v in (3.0, 1.0, 2.0, 8.0):
+        reservoir.observe(v)
+    clone = LatencyReservoir.from_dict(reservoir.to_dict())
+    assert clone.to_dict() == reservoir.to_dict()
+    assert clone.count == 4
+    assert clone.mean == reservoir.mean
+    assert clone.percentile(99) == reservoir.percentile(99)
+    # Empty reservoirs round-trip too.
+    empty = LatencyReservoir(capacity=8, seed=1)
+    assert LatencyReservoir.from_dict(empty.to_dict()).count == 0
+
+
+def test_reservoir_rejects_bad_input():
+    from repro.sim.stats import LatencyReservoir
+    with pytest.raises(ValueError):
+        LatencyReservoir(capacity=0)
+    reservoir = LatencyReservoir()
+    with pytest.raises(ValueError):
+        reservoir.observe(-1.0)
+    with pytest.raises(ValueError):
+        _ = reservoir.mean
