@@ -29,7 +29,13 @@ from .core import (
 )
 from .baseline import BaselineSystem, run_baseline
 from .hw import HardwareSpec, prototype_spec
-from .platform import PlatformBuilder, PlatformConfig, build_system
+from .platform import (
+    ClusterConfig,
+    FaultSpec,
+    PlatformBuilder,
+    PlatformConfig,
+    build_system,
+)
 from .workloads import (
     heterogeneous_workload,
     homogeneous_workload,
@@ -43,6 +49,7 @@ from .serve import (
     TenantSpec,
     run_serving,
 )
+from .cluster import ClusterReport, ClusterSession, run_cluster
 
 __version__ = "1.0.0"
 
@@ -59,6 +66,8 @@ __all__ = [
     "run_baseline",
     "HardwareSpec",
     "prototype_spec",
+    "ClusterConfig",
+    "FaultSpec",
     "PlatformBuilder",
     "PlatformConfig",
     "build_system",
@@ -71,5 +80,8 @@ __all__ = [
     "ServingSession",
     "TenantSpec",
     "run_serving",
+    "ClusterReport",
+    "ClusterSession",
+    "run_cluster",
     "__version__",
 ]

@@ -1,0 +1,44 @@
+"""Cluster scale-out layer: shard serving across a fleet of devices.
+
+``repro.cluster`` sits on top of ``repro.serve``: where the serving layer
+drives *one* accelerator (or baseline) under open-loop traffic, this layer
+builds N independent devices — each its own
+:class:`~repro.platform.PlatformBuilder` product — on one shared event
+engine, routes arrivals to devices with pluggable placement policies
+(round-robin, least-outstanding, tenant-affinity hashing, power-aware),
+models per-device health (a device can be derated or failed mid-run, its
+backlog rerouted without dropping admitted requests), and rolls the
+per-device reports into a fleet-level
+:class:`~repro.cluster.report.ClusterReport`.
+"""
+
+from .dispatcher import ClusterDispatcher, ShardTracker
+from .health import DeviceHealth, DeviceShard
+from .placement import (
+    LeastOutstandingPlacement,
+    PlacementPolicy,
+    PowerAwarePlacement,
+    RoundRobinPlacement,
+    TenantAffinityPlacement,
+    make_placement,
+    stable_tenant_hash,
+)
+from .report import ClusterReport
+from .session import ClusterSession, run_cluster
+
+__all__ = [
+    "ClusterDispatcher",
+    "ShardTracker",
+    "DeviceHealth",
+    "DeviceShard",
+    "LeastOutstandingPlacement",
+    "PlacementPolicy",
+    "PowerAwarePlacement",
+    "RoundRobinPlacement",
+    "TenantAffinityPlacement",
+    "make_placement",
+    "stable_tenant_hash",
+    "ClusterReport",
+    "ClusterSession",
+    "run_cluster",
+]

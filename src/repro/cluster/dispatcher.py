@@ -1,0 +1,139 @@
+"""The sharding dispatcher in front of the per-device front-ends.
+
+:class:`ClusterDispatcher` is the fleet's single entry point: every
+arriving request is routed to one device shard by the placement policy,
+then passes that shard's own admission controller and per-tenant queues
+(the existing single-device machinery, unchanged).  The dispatcher also
+owns the authoritative *fleet-level* SLO accounting: offered/admitted/
+rejected are recorded here, and completions are forwarded up from the
+per-device trackers (:class:`ShardTracker`), so fleet counters stay
+conserved even when a request is admitted on one device and — after a
+failure reroute — completed on another.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..platform.cluster import ClusterConfig
+from ..serve.request import Request, RequestRecord, RequestStatus
+from ..serve.slo import SLOTracker
+from .health import DeviceHealth, DeviceShard
+from .placement import PlacementPolicy, make_placement
+
+
+class ShardTracker(SLOTracker):
+    """Per-device SLO tracker that forwards completions to the fleet.
+
+    Offered/admitted/rejected stay device-local (the dispatcher records
+    them at fleet level itself, after it sees the routing and admission
+    outcome); completions must be forwarded from here because they arrive
+    asynchronously through the device front-end's completion callback.
+    """
+
+    def __init__(self, tenants, fleet: SLOTracker,
+                 reservoir_capacity: int = 4096, seed: int = 0):
+        super().__init__(tenants, reservoir_capacity=reservoir_capacity,
+                         seed=seed)
+        self._fleet = fleet
+
+    def on_completed(self, record: RequestRecord) -> None:
+        super().on_completed(record)
+        self._fleet.on_completed(record)
+
+
+class ClusterDispatcher:
+    """Routes requests to device shards and handles health transitions."""
+
+    def __init__(self, env, shards: List[DeviceShard],
+                 cluster: ClusterConfig, fleet: SLOTracker,
+                 policy: Optional[PlacementPolicy] = None):
+        if not shards:
+            raise ValueError("at least one device shard is required")
+        self.env = env
+        self.shards = shards
+        self.cluster = cluster
+        self.fleet = fleet
+        self.policy = policy if policy is not None else make_placement(
+            cluster.placement, device_count=len(shards),
+            affinity_salt=cluster.affinity_salt)
+        self.cluster_rejected = 0    # arrivals with no routable device
+        self.reroutes = 0            # backlog records moved off failed devices
+        self.health_events: List[Tuple[float, int, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Arrival side                                                        #
+    # ------------------------------------------------------------------ #
+    def routable_shards(self) -> List[DeviceShard]:
+        return [shard for shard in self.shards if shard.routable]
+
+    def submit(self, request: Request) -> RequestRecord:
+        """Route one arrival: pick a shard, let its front-end admit it."""
+        self.fleet.on_offered(request.tenant)
+        routable = self.routable_shards()
+        if not routable:
+            # Whole fleet out of rotation: reject at the cluster edge.
+            record = RequestRecord(request=request,
+                                   status=RequestStatus.REJECTED)
+            self.cluster_rejected += 1
+            self.fleet.on_rejected(request.tenant)
+            return record
+        shard = self.policy.select(request, routable)
+        record = shard.frontend.submit(request)
+        if record.status is RequestStatus.REJECTED:
+            self.fleet.on_rejected(request.tenant)
+        else:
+            shard.routed += 1
+            self.fleet.on_admitted(request.tenant)
+        return record
+
+    def close(self) -> None:
+        """No more arrivals: every shard's dispatcher may drain and exit."""
+        for shard in self.shards:
+            shard.frontend.close()
+
+    @property
+    def drained(self) -> bool:
+        return all(shard.frontend.drained for shard in self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Health transitions                                                  #
+    # ------------------------------------------------------------------ #
+    def set_health(self, device: int, state: DeviceHealth) -> None:
+        """Apply one health transition at the current simulation time.
+
+        Failing a device evicts its queued backlog and reroutes each
+        record through the placement policy; requests already in flight
+        finish on the failing device (fail-stop with drain), so no
+        admitted request is ever dropped.
+        """
+        shard = self.shards[device]
+        self.health_events.append((self.env.now, device, state.value))
+        if state is DeviceHealth.FAILED \
+                and shard.health is DeviceHealth.FAILED:
+            # Already failed: a repeated fault must not re-zero the
+            # capacity of a device that is self-draining its backlog
+            # (the no-peer fallback below), which would wedge the run.
+            return
+        shard.apply_health(state, self.cluster.degraded_capacity_factor)
+        if state is DeviceHealth.FAILED:
+            self._reroute_backlog(shard)
+
+    def _reroute_backlog(self, failed: DeviceShard) -> None:
+        evicted = failed.frontend.evict_queued()
+        if not evicted:
+            return
+        targets = self.routable_shards()
+        if not targets:
+            # Nowhere to go: the failing device must drain its own backlog
+            # (restore its capacity so the dispatch loop is not wedged).
+            failed.frontend.capacity_limit = None
+            for record in evicted:
+                failed.frontend.enqueue_record(record)
+            return
+        failed.rerouted_out += len(evicted)
+        self.reroutes += len(evicted)
+        for record in evicted:
+            target = self.policy.select(record.request, targets)
+            target.rerouted_in += 1
+            target.frontend.enqueue_record(record)

@@ -1,0 +1,95 @@
+"""Per-device health modeling for the cluster layer.
+
+Each device of the fleet is wrapped in a :class:`DeviceShard`: the built
+backend + front-end pair plus a health state and routing counters.  Health
+transitions come from the cluster's fault timeline
+(:class:`~repro.platform.cluster.FaultSpec`) and change how the dispatcher
+treats the device:
+
+* ``HEALTHY`` — full dispatch capacity, receives new traffic.
+* ``DEGRADED`` — a slow board: its dispatch capacity is derated by the
+  cluster's ``degraded_capacity_factor``, so placement policies see a
+  smaller device and route proportionally less work to it.
+* ``FAILED`` — out of rotation: receives no new traffic; its queued
+  backlog is evicted and rerouted; requests already in flight drain on
+  the device (fail-stop with drain — no admitted request is dropped).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from ..platform.config import PlatformConfig
+from ..serve.backends import ServingBackend
+from ..serve.frontend import ServingFrontend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve.slo import SLOTracker
+
+
+class DeviceHealth(Enum):
+    """Health state of one device shard."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+class DeviceShard:
+    """One device of the fleet: backend + front-end + health + counters."""
+
+    def __init__(self, index: int, config: PlatformConfig,
+                 backend: ServingBackend, frontend: ServingFrontend,
+                 tracker: "SLOTracker"):
+        self.index = index
+        self.config = config
+        self.backend = backend
+        self.frontend = frontend
+        self.tracker = tracker
+        self.health = DeviceHealth.HEALTHY
+        # Routing counters (cluster-level bookkeeping, not SLO accounting).
+        self.routed = 0          # requests the dispatcher sent here
+        self.rerouted_in = 0     # backlog records adopted from failed peers
+        self.rerouted_out = 0    # backlog records evicted on failure
+
+    # -- ShardView surface (what placement policies observe) ----------------
+    @property
+    def queued(self) -> int:
+        return self.frontend.total_queued
+
+    @property
+    def in_flight(self) -> int:
+        return self.backend.in_flight
+
+    @property
+    def capacity(self) -> int:
+        return self.frontend.dispatch_capacity
+
+    @property
+    def energy_j(self) -> float:
+        return self.backend.energy_j
+
+    # -- health ---------------------------------------------------------------
+    @property
+    def routable(self) -> bool:
+        """Whether the dispatcher may send this shard new traffic."""
+        return self.health is not DeviceHealth.FAILED
+
+    def apply_health(self, state: DeviceHealth,
+                     degraded_capacity_factor: float) -> None:
+        """Switch health state and derate/restore dispatch capacity.
+
+        Rerouting of a failed shard's backlog is the dispatcher's job
+        (it owns the placement policy); this only flips the local state.
+        """
+        self.health = state
+        if state is DeviceHealth.HEALTHY:
+            self.frontend.capacity_limit = None
+        elif state is DeviceHealth.DEGRADED:
+            self.frontend.capacity_limit = max(
+                1, int(self.backend.capacity * degraded_capacity_factor))
+        else:  # FAILED: no new dispatches; in-flight work drains.
+            self.frontend.capacity_limit = 0
+        # Capacity may have grown: let the dispatcher re-evaluate.
+        self.frontend._kick()

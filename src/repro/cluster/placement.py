@@ -1,0 +1,150 @@
+"""Pluggable placement policies for the cluster dispatcher.
+
+A placement policy picks the device shard each arriving request is routed
+to.  Policies only ever see *routable* shards (healthy or degraded — never
+failed ones) through the tiny :class:`ShardView` surface, and every policy
+is deterministic: the same request sequence over the same fleet state
+always routes identically, which is what keeps cluster runs cacheable by
+content hash.
+
+* :class:`RoundRobinPlacement` — cycle over devices, skipping
+  non-routable ones.
+* :class:`LeastOutstandingPlacement` — route to the device with the
+  lowest backlog per unit of dispatch capacity (degraded devices look
+  proportionally smaller).
+* :class:`TenantAffinityPlacement` — stable-hash the tenant name onto a
+  home device so a tenant's requests co-locate (warm input regions);
+  falls forward deterministically when the home device is out.
+* :class:`PowerAwarePlacement` — route to the device with the lowest
+  accumulated energy, spreading thermal/energy load across the fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol, Sequence
+
+from ..platform.cluster import PLACEMENT_POLICIES
+from ..serve.request import Request
+
+
+class ShardView(Protocol):
+    """What a placement policy may observe about one device shard."""
+
+    @property
+    def index(self) -> int: ...
+    @property
+    def queued(self) -> int: ...
+    @property
+    def in_flight(self) -> int: ...
+    @property
+    def capacity(self) -> int: ...
+    @property
+    def energy_j(self) -> float: ...
+
+
+def stable_tenant_hash(tenant: str, salt: int = 0) -> int:
+    """Process-independent tenant hash (built-in ``hash`` is seeded)."""
+    digest = hashlib.sha256(f"{salt}:{tenant}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PlacementPolicy:
+    """Base policy: pick one shard from the routable set."""
+
+    name = "placement"
+
+    def select(self, request: Request,
+               shards: Sequence[ShardView]) -> ShardView:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle over device indices, skipping non-routable devices."""
+
+    name = "round_robin"
+
+    def __init__(self, device_count: int):
+        if device_count < 1:
+            raise ValueError("device_count must be >= 1")
+        self.device_count = device_count
+        self._cursor = 0
+
+    def select(self, request: Request,
+               shards: Sequence[ShardView]) -> ShardView:
+        by_index = {shard.index: shard for shard in shards}
+        for _ in range(self.device_count):
+            index = self._cursor
+            self._cursor = (self._cursor + 1) % self.device_count
+            if index in by_index:
+                return by_index[index]
+        # The dispatcher guarantees shards is non-empty.
+        return shards[0]
+
+
+class LeastOutstandingPlacement(PlacementPolicy):
+    """Lowest backlog per unit of dispatch capacity, ties to the lowest index."""
+
+    name = "least_outstanding"
+
+    def select(self, request: Request,
+               shards: Sequence[ShardView]) -> ShardView:
+        def load(shard: ShardView):
+            outstanding = shard.queued + shard.in_flight
+            return (outstanding / max(shard.capacity, 1), shard.index)
+        return min(shards, key=load)
+
+
+class TenantAffinityPlacement(PlacementPolicy):
+    """Hash each tenant onto a home device; fall forward when it is out.
+
+    The home index is computed over the *full* device count (not just the
+    currently-routable set), so a tenant's home is stable across health
+    transitions of unrelated devices.
+    """
+
+    name = "tenant_affinity"
+
+    def __init__(self, device_count: int, salt: int = 0):
+        if device_count < 1:
+            raise ValueError("device_count must be >= 1")
+        self.device_count = device_count
+        self.salt = salt
+
+    def home_index(self, tenant: str) -> int:
+        return stable_tenant_hash(tenant, self.salt) % self.device_count
+
+    def select(self, request: Request,
+               shards: Sequence[ShardView]) -> ShardView:
+        by_index = {shard.index: shard for shard in shards}
+        home = self.home_index(request.tenant)
+        for offset in range(self.device_count):
+            index = (home + offset) % self.device_count
+            if index in by_index:
+                return by_index[index]
+        return shards[0]
+
+
+class PowerAwarePlacement(PlacementPolicy):
+    """Lowest accumulated energy first, ties to the lowest index."""
+
+    name = "power_aware"
+
+    def select(self, request: Request,
+               shards: Sequence[ShardView]) -> ShardView:
+        return min(shards, key=lambda s: (s.energy_j, s.index))
+
+
+def make_placement(name: str, device_count: int,
+                   affinity_salt: int = 0) -> PlacementPolicy:
+    """Instantiate a placement policy from :data:`PLACEMENT_POLICIES`."""
+    if name == "round_robin":
+        return RoundRobinPlacement(device_count)
+    if name == "least_outstanding":
+        return LeastOutstandingPlacement()
+    if name == "tenant_affinity":
+        return TenantAffinityPlacement(device_count, salt=affinity_salt)
+    if name == "power_aware":
+        return PowerAwarePlacement()
+    raise ValueError(f"unknown placement {name!r}; "
+                     f"choose from {PLACEMENT_POLICIES}")

@@ -1,0 +1,126 @@
+"""Serializable result of one cluster serving run.
+
+A :class:`ClusterReport` rolls the per-device
+:class:`~repro.serve.report.ServingReport` objects of one fleet run into
+fleet-level aggregates: conserved request counters (offered/admitted/
+rejected/completed), fleet goodput, the fleet-wide latency tail,
+per-tenant accounting, summed energy, placement statistics and the health
+timeline that was applied.  Like the other reports it round-trips
+losslessly through plain dicts so the experiment orchestrator's result
+cache can persist it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..serve.report import ServingReport
+
+
+@dataclass
+class ClusterReport:
+    """Results of one open-loop serving run on a sharded fleet."""
+
+    system: str                 # cluster label, e.g. "cluster-4xIntraO3"
+    workload: str               # scenario label, e.g. "serve-poisson-240rps"
+    placement: str
+    device_count: int
+    duration_s: float
+    makespan_s: float
+    offered: int
+    admitted: int
+    rejected: int
+    completed: int
+    slo_violations: int
+    offered_rps: float
+    goodput_rps: float
+    latency: Dict[str, Optional[float]] = field(default_factory=dict)
+    per_tenant: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    energy_j: float = 0.0
+    devices: List[ServingReport] = field(default_factory=list)
+    placement_stats: Dict[str, Any] = field(default_factory=dict)
+    health_events: List[List[Any]] = field(default_factory=list)
+
+    # -- convenience accessors ------------------------------------------------
+    def percentile_s(self, key: str) -> Optional[float]:
+        """Fleet latency percentile by key ("p50"/"p95"/"p99"/"p99.9")."""
+        return self.latency.get(f"{key}_s")
+
+    @property
+    def p50_s(self) -> Optional[float]:
+        return self.percentile_s("p50")
+
+    @property
+    def p95_s(self) -> Optional[float]:
+        return self.percentile_s("p95")
+
+    @property
+    def p99_s(self) -> Optional[float]:
+        return self.percentile_s("p99")
+
+    @property
+    def admission_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.admitted / self.offered
+
+    @property
+    def device_energy_j(self) -> List[float]:
+        return [device.energy_j for device in self.devices]
+
+    @property
+    def reroutes(self) -> int:
+        return int(self.placement_stats.get("reroutes", 0))
+
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "placement": self.placement,
+            "device_count": self.device_count,
+            "duration_s": self.duration_s,
+            "makespan_s": self.makespan_s,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "slo_violations": self.slo_violations,
+            "offered_rps": self.offered_rps,
+            "goodput_rps": self.goodput_rps,
+            "latency": dict(self.latency),
+            "per_tenant": {tenant: dict(stats)
+                           for tenant, stats in self.per_tenant.items()},
+            "energy_j": self.energy_j,
+            "devices": [device.to_dict() for device in self.devices],
+            "placement_stats": dict(self.placement_stats),
+            "health_events": [list(event) for event in self.health_events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterReport":
+        return cls(
+            system=data["system"],
+            workload=data["workload"],
+            placement=data["placement"],
+            device_count=data["device_count"],
+            duration_s=data["duration_s"],
+            makespan_s=data["makespan_s"],
+            offered=data["offered"],
+            admitted=data["admitted"],
+            rejected=data["rejected"],
+            completed=data["completed"],
+            slo_violations=data["slo_violations"],
+            offered_rps=data["offered_rps"],
+            goodput_rps=data["goodput_rps"],
+            latency=dict(data.get("latency", {})),
+            per_tenant={tenant: dict(stats) for tenant, stats
+                        in data.get("per_tenant", {}).items()},
+            energy_j=data.get("energy_j", 0.0),
+            devices=[ServingReport.from_dict(d)
+                     for d in data.get("devices", [])],
+            placement_stats=dict(data.get("placement_stats", {})),
+            health_events=[list(event)
+                           for event in data.get("health_events", [])],
+        )

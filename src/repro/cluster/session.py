@@ -1,0 +1,168 @@
+"""Cluster session: run one serving scenario on a sharded fleet.
+
+:class:`ClusterSession` is the fleet counterpart of
+:class:`~repro.serve.session.ServingSession`: it builds every device of a
+:class:`~repro.platform.cluster.ClusterConfig` on one shared
+:class:`~repro.sim.engine.Environment` (each device its own
+``PlatformBuilder`` product — backend, admission controller, per-tenant
+queues), puts a :class:`~repro.cluster.dispatcher.ClusterDispatcher` in
+front, schedules the arrival trace and the fault timeline, drives the
+simulation until every request has settled, and rolls the per-device
+results into a :class:`~repro.cluster.report.ClusterReport`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..platform.cluster import ClusterConfig, FaultSpec
+from ..serve.report import ServingReport
+from ..serve.session import (
+    ServingScenario,
+    arrival_driver,
+    assemble_serving_report,
+    build_serving_backend,
+    drive_until_settled,
+    latency_summary,
+)
+from ..serve.frontend import ServingFrontend
+from ..serve.slo import SLOTracker
+from ..sim.engine import Environment
+from .dispatcher import ClusterDispatcher, ShardTracker
+from .health import DeviceHealth, DeviceShard
+from .report import ClusterReport
+
+
+class ClusterSession:
+    """Runs one :class:`ServingScenario` on one configured fleet."""
+
+    def __init__(self, scenario: ServingScenario, cluster: ClusterConfig):
+        self.scenario = scenario
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------ #
+    # Fleet assembly                                                      #
+    # ------------------------------------------------------------------ #
+    def _build_shards(self, env: Environment,
+                      fleet: SLOTracker) -> List[DeviceShard]:
+        scenario = self.scenario
+        tenants = [t.name for t in scenario.tenants]
+        shards: List[DeviceShard] = []
+        for index, config in enumerate(self.cluster.devices):
+            backend = build_serving_backend(scenario, config, env=env)
+            # Distinct deterministic reservoir seeds per device, offset
+            # past the fleet tracker's own per-tenant seed range.
+            tracker = ShardTracker(
+                tenants, fleet,
+                reservoir_capacity=scenario.reservoir_capacity,
+                seed=scenario.seed + 1000 * (index + 1))
+            frontend = ServingFrontend(env, backend,
+                                       scenario.make_admission(),
+                                       tracker, tenants)
+            shards.append(DeviceShard(index, config, backend, frontend,
+                                      tracker))
+        return shards
+
+    # ------------------------------------------------------------------ #
+    # Simulation processes                                                #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fault_driver(env: Environment, dispatcher: ClusterDispatcher,
+                      faults: List[FaultSpec]):
+        for fault in faults:
+            delay = fault.time_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            dispatcher.set_health(fault.device,
+                                  DeviceHealth(fault.state))
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def run(self) -> ClusterReport:
+        scenario = self.scenario
+        env = Environment()
+        tenants = [t.name for t in scenario.tenants]
+        fleet = SLOTracker(tenants,
+                           reservoir_capacity=scenario.reservoir_capacity,
+                           seed=scenario.seed)
+        shards = self._build_shards(env, fleet)
+        dispatcher = ClusterDispatcher(env, shards, self.cluster, fleet)
+        requests = scenario.make_arrivals().generate(scenario.duration_s)
+        for shard in shards:
+            shard.backend.start()
+        env.process(arrival_driver(env, dispatcher, requests))
+        faults = sorted(self.cluster.faults, key=lambda f: f.time_s)
+        if faults:
+            env.process(self._fault_driver(env, dispatcher, faults))
+        def check_fleet_health():
+            for shard in shards:
+                shard.backend.check_health()
+
+        drive_until_settled(env, fleet, len(requests), scenario.duration_s,
+                            check_fleet_health, label="cluster run")
+        for shard in shards:
+            shard.backend.finish()
+        # Drain background work (Storengine flush/GC) on every device so
+        # energy accounting covers every byte served fleet-wide.
+        while env.peek() != float("inf"):
+            env.step()
+        check_fleet_health()
+        return self._assemble_report(env, shards, dispatcher, fleet)
+
+    # ------------------------------------------------------------------ #
+    # Report assembly                                                     #
+    # ------------------------------------------------------------------ #
+    def _device_report(self, env: Environment,
+                       shard: DeviceShard) -> ServingReport:
+        stats_fn = getattr(shard.backend, "scheduler_stats", None)
+        return assemble_serving_report(
+            self.scenario, shard.config.system, shard.tracker,
+            makespan_s=env.now, energy_j=shard.backend.energy_j,
+            scheduler_stats=stats_fn() if stats_fn else None)
+
+    def _assemble_report(self, env: Environment,
+                         shards: List[DeviceShard],
+                         dispatcher: ClusterDispatcher,
+                         fleet: SLOTracker) -> ClusterReport:
+        scenario = self.scenario
+        aggregate = fleet.aggregate
+        duration = scenario.duration_s
+        devices = [self._device_report(env, shard) for shard in shards]
+        placement_stats = {
+            "routed": [shard.routed for shard in shards],
+            "rerouted_in": [shard.rerouted_in for shard in shards],
+            "rerouted_out": [shard.rerouted_out for shard in shards],
+            "reroutes": dispatcher.reroutes,
+            "cluster_rejected": dispatcher.cluster_rejected,
+            "final_health": [shard.health.value for shard in shards],
+        }
+        return ClusterReport(
+            system=self.cluster.label,
+            workload=scenario.label,
+            placement=self.cluster.placement,
+            device_count=len(shards),
+            duration_s=duration,
+            makespan_s=env.now,
+            offered=aggregate.offered,
+            admitted=aggregate.admitted,
+            rejected=aggregate.rejected,
+            completed=aggregate.completed,
+            slo_violations=aggregate.slo_violations,
+            offered_rps=aggregate.offered / duration,
+            goodput_rps=aggregate.goodput_rps(duration),
+            latency=latency_summary(aggregate),
+            per_tenant={tenant: fleet.account(tenant).as_dict(duration)
+                        for tenant in fleet.tenants()},
+            energy_j=sum(shard.backend.energy_j for shard in shards),
+            devices=devices,
+            placement_stats=placement_stats,
+            health_events=[list(event)
+                           for event in dispatcher.health_events],
+        )
+
+
+def run_cluster(scenario: ServingScenario,
+                cluster: ClusterConfig) -> ClusterReport:
+    """Convenience wrapper: run one scenario on one fleet."""
+    return ClusterSession(scenario, cluster).run()

@@ -299,7 +299,10 @@ class ResultCache:
                 payload["config"] = spec.config.to_dict()
             elif spec is not None and hasattr(spec, "scenario"):
                 payload["scenario"] = spec.scenario.to_dict()
-                payload["config"] = spec.config.to_dict()
+                if hasattr(spec, "cluster"):
+                    payload["cluster"] = spec.cluster.to_dict()
+                else:
+                    payload["config"] = spec.config.to_dict()
             path = self._path(key)
             # Unique temp name: the cache dir may be shared by concurrent
             # sessions (REPRO_CACHE_DIR), and two writers of the same key

@@ -92,6 +92,39 @@ def format_saturation_sweep(curves: Dict[str, Sequence],
     return text
 
 
+def format_scaling_sweep(points: Sequence, slo_s: float = None) -> str:
+    """Render a cluster scaling sweep as one device-count table.
+
+    One row per fleet size: goodput, the speedup over the smallest fleet,
+    admitted/rejected counts, the latency tail, summed energy, and the
+    number of failure reroutes.  With ``slo_s`` a per-row SLO verdict
+    column is added (whether fleet p99 is inside the SLO).
+    """
+    from .cluster import scaling_efficiency
+    ordered = sorted(points, key=lambda p: p.device_count)
+    factors = scaling_efficiency(ordered)
+    headers = ["devices", "offered_rps", "goodput_rps", "speedup",
+               "admitted", "rejected", "slo_viol", "p50_ms", "p99_ms",
+               "energy_j", "reroutes"]
+    if slo_s is not None:
+        headers.append("p99<=SLO")
+    rows = []
+    for point, factor in zip(ordered, factors):
+        row = [
+            point.device_count, point.offered_rps, point.goodput_rps,
+            factor, point.admitted, point.rejected, point.slo_violations,
+            -1.0 if point.p50_s is None else point.p50_s * 1e3,
+            -1.0 if point.p99_s is None else point.p99_s * 1e3,
+            point.energy_j, point.reroutes,
+        ]
+        if slo_s is not None:
+            row.append("yes" if point.p99_s is not None
+                       and point.p99_s <= slo_s else "no")
+        rows.append(row)
+    return "Cluster scaling sweep (goodput vs. device count)\n" \
+        + format_table(headers, rows)
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, ignoring non-positive entries."""
     filtered = [v for v in values if v > 0]

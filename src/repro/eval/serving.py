@@ -134,7 +134,9 @@ def saturation_sweep(rates: Sequence[float],
     nominal-rate order per system.
     """
     if not rates:
-        raise ValueError("at least one offered rate is required")
+        # Empty sweep: empty curves (a sentinel, not an error), so sweep
+        # drivers composing rate lists programmatically need no guard.
+        return {system: [] for system in systems}
     orch = orchestrator if orchestrator is not None else \
         default_orchestrator()
     grid = sweep_specs(rates, systems, scenario, config)
@@ -150,13 +152,22 @@ def saturation_sweep(rates: Sequence[float],
 
 def find_knee(points: Sequence[SaturationPoint],
               slo_s: float) -> Optional[float]:
-    """Highest offered load whose p99 latency is still within ``slo_s``.
+    """Highest offered load up to which p99 latency stays within ``slo_s``.
 
-    Returns None when the system violates the SLO at every measured
-    point (its knee lies below the sweep range).
+    The knee is the last point of the *contiguous* in-SLO prefix of the
+    sweep: once a measured point violates the SLO (or has no latency data
+    at all, e.g. everything was rejected), later in-SLO points are noise
+    from an already-saturated regime and do not extend the knee — noisy
+    seeds can make p99 dip back under the SLO past saturation, and
+    reporting that load as sustainable would overstate capacity.
+
+    Returns ``None`` (a sentinel, never an exception) for an empty sweep
+    or when the very first measured point already violates the SLO (the
+    knee lies below the sweep range).
     """
     knee: Optional[float] = None
     for point in sorted(points, key=lambda p: p.offered_rps):
-        if point.p99_s is not None and point.p99_s <= slo_s:
-            knee = point.offered_rps
+        if point.p99_s is None or point.p99_s > slo_s:
+            break
+        knee = point.offered_rps
     return knee

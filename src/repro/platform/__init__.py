@@ -13,6 +13,10 @@ This package sits between the device models (``repro.hw`` / ``repro.flash``
   (LWP cluster, DDR3L, scratchpad, crossbars, PCIe, flash backbone or
   NVMe SSD + host storage stack) is assembled.  Both systems consume the
   :class:`HardwareSubstrate` it produces instead of hand-wiring parts.
+* :class:`ClusterConfig` — a serializable fleet description for the
+  scale-out layer (:mod:`repro.cluster`): one :class:`PlatformConfig` per
+  device plus placement-policy knobs and an optional :class:`FaultSpec`
+  health timeline, with its own stable ``config_hash``.
 """
 
 from .config import (
@@ -22,6 +26,12 @@ from .config import (
     spec_from_dict,
     spec_to_dict,
 )
+from .cluster import (
+    HEALTH_STATES,
+    PLACEMENT_POLICIES,
+    ClusterConfig,
+    FaultSpec,
+)
 from .builder import HardwareSubstrate, PlatformBuilder, build_system
 
 __all__ = [
@@ -30,6 +40,10 @@ __all__ = [
     "PlatformConfig",
     "spec_from_dict",
     "spec_to_dict",
+    "HEALTH_STATES",
+    "PLACEMENT_POLICIES",
+    "ClusterConfig",
+    "FaultSpec",
     "HardwareSubstrate",
     "PlatformBuilder",
     "build_system",

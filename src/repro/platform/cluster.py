@@ -1,0 +1,188 @@
+"""Declarative, serializable cluster (fleet) configuration.
+
+A :class:`ClusterConfig` describes a scale-out fleet of independently-built
+devices: one :class:`~repro.platform.PlatformConfig` per device, the
+placement policy the cluster dispatcher routes requests with, routing
+knobs (tenant-affinity salt, degraded-capacity derating), and an optional
+health timeline of :class:`FaultSpec` events (a device marked slow or
+failed mid-run).  Like :class:`PlatformConfig` it round-trips losslessly
+through plain dicts, so :meth:`ClusterConfig.config_hash` can key the
+experiment result cache for cluster runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Tuple
+
+from .config import PlatformConfig
+
+#: The placement policies the cluster dispatcher knows how to build
+#: (implemented in :mod:`repro.cluster.placement`).
+PLACEMENT_POLICIES: Tuple[str, ...] = (
+    "round_robin", "least_outstanding", "tenant_affinity", "power_aware")
+
+#: Device health states a :class:`FaultSpec` may switch a device to.
+HEALTH_STATES: Tuple[str, ...] = ("healthy", "degraded", "failed")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled health transition of one device.
+
+    At simulation time ``time_s`` device ``device`` switches to ``state``:
+    ``degraded`` derates its dispatch capacity (a slow board), ``failed``
+    takes it out of rotation and reroutes its queued requests, and
+    ``healthy`` returns it to full service.
+    """
+
+    time_s: float
+    device: int
+    state: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("fault time_s must be non-negative")
+        if self.device < 0:
+            raise ValueError("fault device index must be non-negative")
+        if self.state not in HEALTH_STATES:
+            raise ValueError(f"unknown health state {self.state!r}; "
+                             f"choose from {HEALTH_STATES}")
+
+    def to_list(self) -> list:
+        return [self.time_s, self.device, self.state]
+
+    @classmethod
+    def from_list(cls, data) -> "FaultSpec":
+        time_s, device, state = data
+        return cls(time_s=float(time_s), device=int(device),
+                   state=str(state))
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to instantiate one fleet of serving devices.
+
+    Frozen like :class:`PlatformConfig`: cluster configs act as cache
+    identities via :meth:`config_hash`, so evolution goes through copies
+    (:meth:`with_overrides` / :meth:`scaled_to`).
+
+    Attributes
+    ----------
+    devices:
+        One :class:`PlatformConfig` per device.  Devices are independent
+        products of :class:`~repro.platform.PlatformBuilder`; mixing
+        schedulers (or even SIMD boards) in one fleet is allowed.
+    placement:
+        Routing policy name from :data:`PLACEMENT_POLICIES`.
+    affinity_salt:
+        Salt mixed into the tenant-affinity hash so two fleets can map the
+        same tenants to different devices.
+    degraded_capacity_factor:
+        Fraction of a device's dispatch capacity that survives a
+        ``degraded`` health transition (slow-board model).
+    faults:
+        Health timeline applied during the run, time-ordered by the
+        session.
+    """
+
+    devices: Tuple[PlatformConfig, ...]
+    placement: str = "round_robin"
+    affinity_salt: int = 0
+    degraded_capacity_factor: float = 0.5
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a cluster needs at least one device")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown placement {self.placement!r}; "
+                             f"choose from {PLACEMENT_POLICIES}")
+        if not 0.0 < self.degraded_capacity_factor <= 1.0:
+            raise ValueError(
+                "degraded_capacity_factor must be in (0, 1]")
+        for fault in self.faults:
+            if fault.device >= len(self.devices):
+                raise ValueError(
+                    f"fault names device {fault.device}, but the cluster "
+                    f"has only {len(self.devices)} devices")
+
+    # ------------------------------------------------------------------ #
+    # Factories                                                           #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def homogeneous(cls, count: int, device: PlatformConfig,
+                    **kwargs: Any) -> "ClusterConfig":
+        """A fleet of ``count`` identical devices."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return cls(devices=tuple(device for _ in range(count)), **kwargs)
+
+    def scaled_to(self, count: int) -> "ClusterConfig":
+        """Copy of this cluster resized to ``count`` devices.
+
+        Grows by repeating the first device's config; shrinking keeps the
+        prefix.  Faults naming devices beyond the new size are dropped.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count <= len(self.devices):
+            devices = self.devices[:count]
+        else:
+            devices = self.devices + tuple(
+                self.devices[0] for _ in range(count - len(self.devices)))
+        faults = tuple(f for f in self.faults if f.device < count)
+        return replace(self, devices=devices, faults=faults)
+
+    def with_overrides(self, **kwargs: Any) -> "ClusterConfig":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Derived properties                                                   #
+    # ------------------------------------------------------------------ #
+    @property
+    def device_count(self) -> int:
+        return len(self.devices)
+
+    @property
+    def label(self) -> str:
+        """Registry/cache identity prefix, e.g. ``cluster-4xIntraO3``."""
+        systems = {config.system for config in self.devices}
+        flavor = self.devices[0].system if len(systems) == 1 else "mixed"
+        return f"cluster-{len(self.devices)}x{flavor}"
+
+    def __hash__(self) -> int:
+        return hash(self.config_hash())
+
+    # ------------------------------------------------------------------ #
+    # Serialization                                                        #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "devices": [config.to_dict() for config in self.devices],
+            "placement": self.placement,
+            "affinity_salt": self.affinity_salt,
+            "degraded_capacity_factor": self.degraded_capacity_factor,
+            "faults": [fault.to_list() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterConfig":
+        return cls(
+            devices=tuple(PlatformConfig.from_dict(d)
+                          for d in data.get("devices", [])),
+            placement=str(data.get("placement", "round_robin")),
+            affinity_salt=int(data.get("affinity_salt", 0)),
+            degraded_capacity_factor=float(
+                data.get("degraded_capacity_factor", 0.5)),
+            faults=tuple(FaultSpec.from_list(f)
+                         for f in data.get("faults", [])),
+        )
+
+    def config_hash(self) -> str:
+        """Stable short hash of the canonical serialized form."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -33,6 +33,8 @@ from .session import (
     DEFAULT_TENANTS,
     ServingScenario,
     ServingSession,
+    build_serving_backend,
+    make_kernel_factory,
     run_serving,
 )
 from .slo import REPORT_PERCENTILES, SLOTracker, TenantAccount
@@ -61,6 +63,8 @@ __all__ = [
     "DEFAULT_TENANTS",
     "ServingScenario",
     "ServingSession",
+    "build_serving_backend",
+    "make_kernel_factory",
     "run_serving",
     "REPORT_PERCENTILES",
     "SLOTracker",

@@ -14,7 +14,7 @@ others at the dispatch point.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..sim.engine import Environment, Event
 from .admission import AdmissionController
@@ -41,6 +41,9 @@ class ServingFrontend:
         self._order = list(tenants)
         self._next_tenant = 0
         self._open = True
+        # Optional derating of the backend's dispatch capacity (the
+        # cluster layer's slow/failed-device model); None = full capacity.
+        self.capacity_limit: Optional[int] = None
         self._wake: Event = env.event()
         self._dispatcher = env.process(self._dispatch_loop())
 
@@ -60,7 +63,9 @@ class ServingFrontend:
 
     @property
     def dispatch_capacity(self) -> int:
-        return self.backend.capacity
+        if self.capacity_limit is None:
+            return self.backend.capacity
+        return min(self.backend.capacity, self.capacity_limit)
 
     # ------------------------------------------------------------------ #
     # Arrival side                                                        #
@@ -81,6 +86,34 @@ class ServingFrontend:
         self.queues[request.tenant].append(record)
         self._kick()
         return record
+
+    def enqueue_record(self, record: RequestRecord) -> None:
+        """Queue an already-admitted record (cluster rerouting path).
+
+        The record keeps its original admission timestamp and is *not*
+        re-counted as offered/admitted — it was admitted elsewhere and is
+        merely changing queues.  It is also not appended to
+        :attr:`records`, which tracks arrivals at this front-end.
+        """
+        if record.request.tenant not in self.queues:
+            raise ValueError(f"unknown tenant {record.request.tenant!r}")
+        record.status = RequestStatus.QUEUED
+        self.queues[record.request.tenant].append(record)
+        self._kick()
+
+    def evict_queued(self) -> List[RequestRecord]:
+        """Remove and return every queued (not yet dispatched) record.
+
+        Used by the cluster layer when this device fails: the backlog is
+        handed back to the dispatcher for rerouting.  In-flight requests
+        are untouched (the failing device drains them).
+        """
+        evicted: List[RequestRecord] = []
+        for tenant in self._order:
+            queue = self.queues[tenant]
+            evicted.extend(queue)
+            queue.clear()
+        return evicted
 
     def close(self) -> None:
         """No more arrivals: the dispatcher may exit once drained."""
@@ -112,7 +145,7 @@ class ServingFrontend:
 
     def _dispatch_loop(self):
         while True:
-            while (self.backend.in_flight < self.backend.capacity
+            while (self.backend.in_flight < self.dispatch_capacity
                    and self.total_queued > 0):
                 record = self._pop_next()
                 record.dispatched_at = self.env.now

@@ -16,7 +16,7 @@ simulation until every request has settled, and assembles a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..baseline.system import BaselineSystem
@@ -42,9 +42,138 @@ from .backends import AcceleratorBackend, BaselineBackend, ServingBackend
 from .frontend import ServingFrontend
 from .report import ServingReport
 from .request import Request
-from .slo import REPORT_PERCENTILES, SLOTracker
+from .slo import REPORT_PERCENTILES, SLOTracker, TenantAccount
 
 ARRIVAL_PROCESSES = ("poisson", "mmpp", "diurnal", "trace")
+
+
+def make_kernel_factory(scenario: "ServingScenario",
+                        config: PlatformConfig):
+    """Request -> Kernel builder shared by single-device and cluster runs.
+
+    Tenant identity maps to the kernel's ``app_id`` (input regions are
+    shared per application) and the request id to the instance number, so
+    every request builds a distinct kernel deterministically.
+    """
+    tenant_index = {t.name: i for i, t in enumerate(scenario.tenants)}
+    input_scale = config.input_scale
+
+    def build(request: Request) -> Kernel:
+        characteristics = lookup(request.workload)
+        return build_workload_kernel(
+            characteristics,
+            app_id=tenant_index[request.tenant],
+            instance=request.request_id,
+            screens_per_microblock=DEFAULT_SCREENS_PER_MICROBLOCK,
+            input_scale=input_scale)
+
+    return build
+
+
+def build_serving_backend(scenario: "ServingScenario",
+                          config: PlatformConfig,
+                          env=None) -> ServingBackend:
+    """Build the execution backend for one device.
+
+    ``env=None`` gives the device its own :class:`Environment` (the
+    single-device serving path); the cluster layer passes one shared
+    environment so all devices advance on the same virtual clock.
+    """
+    factory = make_kernel_factory(scenario, config)
+    if config.is_baseline:
+        return BaselineBackend(BaselineSystem(env=env, config=config),
+                               factory)
+    return AcceleratorBackend(
+        FlashAbacusAccelerator(env=env, config=config), factory)
+
+
+def arrival_driver(env, sink, requests: List[Request]):
+    """Process generator: feed a time-sorted arrival trace into ``sink``.
+
+    ``sink`` is anything with ``submit(request)`` and ``close()`` — the
+    single-device front-end or the cluster layer's sharding dispatcher.
+    """
+    for request in requests:
+        delay = request.arrival_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        sink.submit(request)
+    sink.close()
+
+
+def latency_summary(account: TenantAccount) -> Dict[str, Optional[float]]:
+    """The latency dict every serving-style report carries."""
+    latency: Dict[str, Optional[float]] = {}
+    for pct in REPORT_PERCENTILES:
+        latency[f"p{pct:g}_s"] = account.percentile(pct)
+    latency["mean_s"] = (account.latency.mean
+                         if account.latency.count else None)
+    latency["max_s"] = (account.latency.max
+                        if account.latency.count else None)
+    return latency
+
+
+def assemble_serving_report(scenario: "ServingScenario", system: str,
+                            tracker: SLOTracker, makespan_s: float,
+                            energy_j: float,
+                            scheduler_stats=None) -> ServingReport:
+    """Roll one tracker's accounting into a :class:`ServingReport`.
+
+    Shared by the single-device session and the cluster layer's
+    per-device reports, so the two can never drift field-wise.
+    """
+    aggregate = tracker.aggregate
+    duration = scenario.duration_s
+    return ServingReport(
+        system=system,
+        workload=scenario.label,
+        duration_s=duration,
+        makespan_s=makespan_s,
+        offered=aggregate.offered,
+        admitted=aggregate.admitted,
+        rejected=aggregate.rejected,
+        completed=aggregate.completed,
+        slo_violations=aggregate.slo_violations,
+        offered_rps=aggregate.offered / duration,
+        goodput_rps=aggregate.goodput_rps(duration),
+        latency=latency_summary(aggregate),
+        per_tenant={tenant: tracker.account(tenant).as_dict(duration)
+                    for tenant in tracker.tenants()},
+        energy_j=energy_j,
+        scheduler_stats=dict(scheduler_stats) if scheduler_stats else {},
+    )
+
+
+def drive_until_settled(env, tracker: SLOTracker, expected: int,
+                        duration_s: float, check_health,
+                        label: str = "serving run") -> None:
+    """Step ``env`` until ``expected`` requests settled, with a watchdog.
+
+    An exhausted event queue can never happen while an accelerator
+    backend is up (Storengine polls perpetually until stopped), so
+    progress is what is watched — if no request settles for a generous
+    simulated span, the run is wedged.  ``check_health`` runs after
+    every step to surface crashes from backend-owned processes.
+    """
+    stall_horizon = max(60.0, 10.0 * duration_s)
+    last_settled = -1
+    last_progress = env.now
+    while tracker.settled < expected:
+        if env.peek() == float("inf"):
+            raise RuntimeError(
+                f"{label} stalled: {tracker.settled}/{expected} "
+                f"requests settled at t={env.now:.3f}s")
+        if tracker.settled != last_settled:
+            last_settled = tracker.settled
+            last_progress = env.now
+        elif env.now - last_progress > stall_horizon:
+            raise RuntimeError(
+                f"{label} stalled: no request settled for "
+                f"{stall_horizon:.0f} simulated seconds "
+                f"({tracker.settled}/{expected} settled at "
+                f"t={env.now:.3f}s)")
+        env.step()
+        check_health()
 
 #: Default tenant set: two equal-share tenants with the same SLO, so the
 #: multi-tenant path is exercised even by one-line experiments.
@@ -187,46 +316,12 @@ class ServingSession:
         self.scenario = scenario
         self.config = config
 
-    # ------------------------------------------------------------------ #
-    # Kernel construction                                                 #
-    # ------------------------------------------------------------------ #
-    def _kernel_factory(self):
-        tenant_index = {t.name: i for i, t in
-                        enumerate(self.scenario.tenants)}
-        input_scale = self.config.input_scale
-
-        def build(request: Request) -> Kernel:
-            characteristics = lookup(request.workload)
-            return build_workload_kernel(
-                characteristics,
-                app_id=tenant_index[request.tenant],
-                instance=request.request_id,
-                screens_per_microblock=DEFAULT_SCREENS_PER_MICROBLOCK,
-                input_scale=input_scale)
-
-        return build
-
     def _build_backend(self) -> ServingBackend:
-        factory = self._kernel_factory()
-        if self.config.is_baseline:
-            return BaselineBackend(BaselineSystem(config=self.config),
-                                   factory)
-        return AcceleratorBackend(
-            FlashAbacusAccelerator(config=self.config), factory)
+        return build_serving_backend(self.scenario, self.config)
 
     # ------------------------------------------------------------------ #
     # Execution                                                           #
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _arrival_driver(env, frontend: ServingFrontend,
-                        requests: List[Request]):
-        for request in requests:
-            delay = request.arrival_s - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            frontend.submit(request)
-        frontend.close()
-
     def run(self) -> ServingReport:
         scenario = self.scenario
         backend = self._build_backend()
@@ -239,31 +334,9 @@ class ServingSession:
                                    tracker, tenants)
         requests = scenario.make_arrivals().generate(scenario.duration_s)
         backend.start()
-        env.process(self._arrival_driver(env, frontend, requests))
-        expected = len(requests)
-        # Stall detection: an exhausted event queue can never happen on
-        # the accelerator backend (Storengine polls perpetually until
-        # stopped), so progress is what is watched — if no request
-        # settles for a generous simulated span, the run is wedged.
-        stall_horizon = max(60.0, 10.0 * scenario.duration_s)
-        last_settled = -1
-        last_progress = env.now
-        while tracker.settled < expected:
-            if env.peek() == float("inf"):
-                raise RuntimeError(
-                    f"serving run stalled: {tracker.settled}/{expected} "
-                    f"requests settled at t={env.now:.3f}s")
-            if tracker.settled != last_settled:
-                last_settled = tracker.settled
-                last_progress = env.now
-            elif env.now - last_progress > stall_horizon:
-                raise RuntimeError(
-                    f"serving run stalled: no request settled for "
-                    f"{stall_horizon:.0f} simulated seconds "
-                    f"({tracker.settled}/{expected} settled at "
-                    f"t={env.now:.3f}s)")
-            env.step()
-            backend.check_health()
+        env.process(arrival_driver(env, frontend, requests))
+        drive_until_settled(env, tracker, len(requests),
+                            scenario.duration_s, backend.check_health)
         backend.finish()
         # Drain the remaining background work (Storengine flush/GC on the
         # accelerator) so energy accounting covers every byte served.
@@ -277,38 +350,13 @@ class ServingSession:
     # ------------------------------------------------------------------ #
     def _assemble_report(self, backend: ServingBackend,
                          tracker: SLOTracker) -> ServingReport:
-        scenario = self.scenario
-        aggregate = tracker.aggregate
-        duration = scenario.duration_s
-        latency: Dict[str, Optional[float]] = {}
-        for pct in REPORT_PERCENTILES:
-            latency[f"p{pct:g}_s"] = aggregate.percentile(pct)
-        latency["mean_s"] = (aggregate.latency.mean
-                             if aggregate.latency.count else None)
-        latency["max_s"] = (aggregate.latency.max
-                            if aggregate.latency.count else None)
         # The environment is quiescent by now, so the clock reads the end
         # of the last piece of work (completion or background drain).
-        makespan_s = backend.env.now
         stats_fn = getattr(backend, "scheduler_stats", None)
-        return ServingReport(
-            system=self.config.system,
-            workload=scenario.label,
-            duration_s=duration,
-            makespan_s=makespan_s,
-            offered=aggregate.offered,
-            admitted=aggregate.admitted,
-            rejected=aggregate.rejected,
-            completed=aggregate.completed,
-            slo_violations=aggregate.slo_violations,
-            offered_rps=aggregate.offered / duration,
-            goodput_rps=aggregate.goodput_rps(duration),
-            latency=latency,
-            per_tenant={tenant: tracker.account(tenant).as_dict(duration)
-                        for tenant in tracker.tenants()},
-            energy_j=backend.energy_j,
-            scheduler_stats=dict(stats_fn()) if stats_fn else {},
-        )
+        return assemble_serving_report(
+            self.scenario, self.config.system, tracker,
+            makespan_s=backend.env.now, energy_j=backend.energy_j,
+            scheduler_stats=stats_fn() if stats_fn else None)
 
 
 def run_serving(scenario: ServingScenario,

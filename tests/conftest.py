@@ -10,6 +10,19 @@ from repro.hw.spec import FlashSpec, HardwareSpec, prototype_spec
 from repro.sim.engine import Environment
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden report fixtures in tests/goldens/ "
+             "instead of comparing against them")
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether this run should regenerate golden fixtures."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def env() -> Environment:
     """A fresh simulation environment."""
