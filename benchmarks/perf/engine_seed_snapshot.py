@@ -1,0 +1,332 @@
+"""Frozen snapshot of the PRE-PR-4 event engine — the perf baseline.
+
+This is a verbatim copy of ``src/repro/sim/engine.py`` as of PR 3
+(commit 9cbb2c5), kept so the engine microbenchmark can measure the
+seed and the optimized engine in the same process on the same host and
+record both in BENCH_PERF.json (the `"baseline"` field of
+``engine_events_per_sec``).  Do not optimize or otherwise edit this
+file; it is the fixed reference the >=2x tentpole claim is checked
+against.  It is imported only by ``benchmarks/perf/perfbench.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted by another process."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event priorities: control ordering of events scheduled at the same time.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Events start *pending*, may be *triggered* (scheduled for processing
+    with a value), and become *processed* once their callbacks have run.
+    Processes waiting on an event are resumed with the event's value when
+    it is processed.
+    """
+
+    # Every simulated activity allocates events, so they are the hottest
+    # allocation site of the whole engine; __slots__ drops the per-event
+    # dict.  ``_interrupting`` is only set on interrupt-carrier events.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_interrupting")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled for processing."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have run and waiters were resumed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``False`` if the event carries a failure (exception) value."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception, which propagates to waiters."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority)
+        return self
+
+    # -- composition -----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Process(Event):
+    """Wraps a generator and drives it by processing the events it yields.
+
+    A process is itself an event: it triggers when the generator returns
+    (with the generator's return value) or raises.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError("process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process immediately (at the current time).
+        init = Event(env)
+        init._triggered = True
+        init.callbacks.append(self._resume)
+        env._schedule(init, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event = Event(self.env)
+        event._triggered = True
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._interrupting = self
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        generator = self._generator
+        while True:
+            env._active_process = self
+            try:
+                if event.ok:
+                    result = generator.send(event.value)
+                else:
+                    result = generator.throw(event.value)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self.fail(exc, priority=URGENT)
+                return
+            env._active_process = None
+
+            if not isinstance(result, Event):
+                # Yielding something that is not an event is a programming
+                # error in the process; fail the process rather than crashing
+                # the whole simulation loop.
+                self.fail(SimulationError(
+                    f"process yielded a non-event: {result!r}"),
+                    priority=URGENT)
+                return
+            self._target = result
+            if result.callbacks is not None:
+                result.callbacks.append(self._resume)
+                return
+            # The yielded event was already processed: resume synchronously
+            # with its value instead of allocating and scheduling an extra
+            # "immediate" bounce event — this loop is the hottest path of
+            # every simulation.
+            event = result
+
+
+class Condition(Event):
+    """Base class for events composed of several sub-events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed({e: e.value for e in self.events if e.triggered})
+
+
+class AllOf(Condition):
+    """Triggers once every sub-event has triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one sub-event has triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Environment:
+    """Owns the virtual clock and the pending event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds, by convention of this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none is pending."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        time, _prio, _eid, event = heapq.heappop(self._queue)
+        if time < self._now - 1e-18:
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, time)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks and not isinstance(event, Process):
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

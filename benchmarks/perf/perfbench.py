@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Wall-clock microbenchmarks -> ``BENCH_PERF.json``.
+
+Measures how fast the *simulator itself* runs (host seconds, not
+simulated seconds) across the four hot layers and writes the
+machine-readable snapshot tracked PR-over-PR at the repo root:
+
+* ``engine_events_per_sec``        — discrete-event loop, timeout-driven
+  processes; also run against the frozen pre-PR-4 seed engine
+  (``engine_seed_snapshot.py``) and recorded as the metric's baseline.
+* ``engine_pingpong_events_per_sec`` — event-signaling (succeed/wait)
+  loop, with the same seed baseline.
+* ``serving_requests_per_sec``     — single-device open-loop serving,
+  end to end (arrivals -> admission -> dispatch -> accelerator backend).
+* ``cluster_requests_per_sec``     — two-device sharded serving run.
+* ``orchestrator_cache_hits_per_sec`` / ``orchestrator_cache_miss_s`` —
+  experiment orchestrator result-cache lookup and full-miss cost.
+* ``reservoir_observes_per_sec``   — LatencyReservoir ingestion.
+* ``frontend_dispatches_per_sec``  — round-robin dispatch scan over a
+  wide (64-tenant) front-end against a stub backend.
+
+Run:  python benchmarks/perf/perfbench.py [--quick] [--output PATH]
+See PERFORMANCE.md for how to read the output and the regression policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import (  # noqa: E402
+    ENGINE_SPEEDUP_THRESHOLD,
+    PerfMetric,
+    PerfReport,
+    check_thresholds,
+    measure,
+    measure_ab,
+)
+
+SEED_ENGINE_PATH = Path(__file__).with_name("engine_seed_snapshot.py")
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PERF.json"
+
+
+def load_seed_engine():
+    """Import the frozen pre-PR-4 engine under a private module name."""
+    spec = importlib.util.spec_from_file_location(
+        "repro_perf_seed_engine", SEED_ENGINE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+# --------------------------------------------------------------------------- #
+# Engine microbenchmarks (run against any engine module)                       #
+# --------------------------------------------------------------------------- #
+def engine_timeout_events(engine_module, n_procs: int,
+                          events_per_proc: int) -> float:
+    """Timeout-driven process loops; returns events processed."""
+    env = engine_module.Environment()
+
+    def worker(env, period, count):
+        for _ in range(count):
+            yield env.timeout(period)
+
+    for i in range(n_procs):
+        env.process(worker(env, 1.0 + i * 1e-4, events_per_proc))
+    env.run()
+    return float(n_procs * events_per_proc)
+
+
+def engine_pingpong_events(engine_module, n_pairs: int,
+                           rounds: int) -> float:
+    """Producer/consumer pairs signaling through events; returns events."""
+    env = engine_module.Environment()
+
+    def producer(env, box, count):
+        for _ in range(count):
+            yield env.timeout(1.0)
+            gate = box[0]
+            box[0] = env.event()
+            gate.succeed(env.now)
+
+    def consumer(env, box, count):
+        for _ in range(count):
+            yield box[0]
+
+    for _ in range(n_pairs):
+        box = [env.event()]
+        env.process(producer(env, box, rounds))
+        env.process(consumer(env, box, rounds))
+    env.run()
+    return float(n_pairs * rounds * 2)
+
+
+# --------------------------------------------------------------------------- #
+# Serving / cluster / orchestrator / stats benchmarks                          #
+# --------------------------------------------------------------------------- #
+def serving_run(offered_rps: float, duration_s: float) -> float:
+    """One open-loop serving run; returns requests offered."""
+    from repro.platform.config import PlatformConfig
+    from repro.serve.session import ServingScenario, run_serving
+
+    scenario = ServingScenario(process="poisson", offered_rps=offered_rps,
+                               duration_s=duration_s, seed=11)
+    config = PlatformConfig(input_scale=0.01)
+    report = run_serving(scenario, config)
+    return float(report.offered)
+
+
+def cluster_run(offered_rps: float, duration_s: float) -> float:
+    """One two-device sharded serving run; returns requests offered."""
+    from repro.cluster.session import ClusterSession
+    from repro.platform.cluster import ClusterConfig
+    from repro.platform.config import PlatformConfig
+    from repro.serve.session import ServingScenario
+
+    scenario = ServingScenario(process="poisson", offered_rps=offered_rps,
+                               duration_s=duration_s, seed=13)
+    cluster = ClusterConfig.homogeneous(
+        2, PlatformConfig(input_scale=0.01))
+    report = ClusterSession(scenario, cluster).run()
+    return float(report.offered)
+
+
+def reservoir_observes(n_samples: int) -> float:
+    """Stream ``n_samples`` into one LatencyReservoir; returns samples."""
+    from repro.sim.stats import LatencyReservoir
+
+    reservoir = LatencyReservoir(capacity=4096, seed=7)
+    observe = reservoir.observe
+    for i in range(n_samples):
+        observe((i % 997) * 1e-4)
+    return float(n_samples)
+
+
+class _StubBackend:
+    """Minimal ServingBackend: fixed tiny service time, capacity 4."""
+
+    def __init__(self, env, capacity: int = 4):
+        self.env = env
+        self.capacity = capacity
+        self.in_flight = 0
+
+    def dispatch(self, record, on_complete):
+        self.in_flight += 1
+
+        def finish(env=self.env, record=record):
+            yield env.timeout(1e-4)
+            self.in_flight -= 1
+            on_complete(record, env.now)
+
+        self.env.process(finish())
+
+
+def frontend_dispatches(n_tenants: int, n_requests: int) -> float:
+    """Submit/dispatch/complete across a wide front-end; returns requests."""
+    from repro.serve.admission import make_admission
+    from repro.serve.frontend import ServingFrontend
+    from repro.serve.request import Request
+    from repro.serve.slo import SLOTracker
+    from repro.sim.engine import Environment
+
+    env = Environment()
+    tenants = [f"tenant-{i:02d}" for i in range(n_tenants)]
+    tracker = SLOTracker(tenants)
+    frontend = ServingFrontend(env, _StubBackend(env),
+                               make_admission("always"), tracker, tenants)
+
+    def arrivals(env):
+        for i in range(n_requests):
+            yield env.timeout(1e-5)
+            frontend.submit(Request(request_id=i,
+                                    tenant=tenants[i % n_tenants],
+                                    workload="ATAX", arrival_s=env.now))
+        frontend.close()
+
+    env.process(arrivals(env))
+    env.run()
+    if tracker.completed != n_requests:
+        raise RuntimeError(f"frontend bench dropped requests: "
+                           f"{tracker.completed}/{n_requests}")
+    return float(n_requests)
+
+
+def orchestrator_cache(n_hit_lookups: int):
+    """Time one cache miss (full simulation) and ``n_hit_lookups`` hits.
+
+    Returns ``(miss_seconds, hits_per_second)``.  Uses an on-disk cache
+    in a temp dir so the hit path exercises the real lookup machinery.
+    """
+    import time
+
+    from repro.eval.orchestrator import (
+        ExperimentOrchestrator,
+        ExperimentSpec,
+        WorkloadSpec,
+    )
+    from repro.platform.config import PlatformConfig
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as cache:
+        orchestrator = ExperimentOrchestrator(cache_dir=cache, workers=1)
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(kind="homogeneous", name="ATAX"),
+            config=PlatformConfig(instances=2, input_scale=0.05))
+        start = time.perf_counter()
+        orchestrator.run_one(spec)
+        miss_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(n_hit_lookups):
+            orchestrator.run_one(spec)
+        hit_s = time.perf_counter() - start
+        return miss_s, n_hit_lookups / hit_s
+
+
+# --------------------------------------------------------------------------- #
+# Harness                                                                      #
+# --------------------------------------------------------------------------- #
+def build_report(quick: bool = False, repeats: int = 5) -> PerfReport:
+    """Run every microbenchmark and assemble the :class:`PerfReport`."""
+    scale = 0.25 if quick else 1.0
+    n_procs = 100
+    events_per_proc = max(200, int(2000 * scale))
+    pairs, rounds = 50, max(200, int(2000 * scale))
+    serving_s = max(2.0, 5.0 * scale)
+    cluster_s = max(2.0, 4.0 * scale)
+    reservoir_n = max(50_000, int(400_000 * scale))
+    frontend_n = max(5_000, int(20_000 * scale))
+    hit_lookups = max(200, int(1000 * scale))
+
+    seed_engine = load_seed_engine()
+    import repro.sim.engine as current_engine
+
+    report = PerfReport(config={
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "engine_events": n_procs * events_per_proc,
+        "seed_engine": SEED_ENGINE_PATH.name,
+    })
+
+    # Engine A/B comparisons run interleaved and compare best rates so
+    # a host-load spike cannot land on one side and skew the recorded
+    # speedup (see repro.perf.timers.measure_ab).
+    print("• engine: timeout-driven event loop "
+          f"({n_procs} procs x {events_per_proc} events)")
+    current, seed = measure_ab(
+        "engine_events_per_sec",
+        lambda: engine_timeout_events(current_engine, n_procs,
+                                      events_per_proc),
+        "engine_events_per_sec_seed",
+        lambda: engine_timeout_events(seed_engine, n_procs,
+                                      events_per_proc),
+        repeats=repeats)
+    report.add(PerfMetric("engine_events_per_sec", current.best_rate,
+                          "events/s", baseline=seed.best_rate))
+
+    print(f"• engine: event ping-pong ({pairs} pairs x {rounds} rounds)")
+    current_pp, seed_pp = measure_ab(
+        "engine_pingpong_events_per_sec",
+        lambda: engine_pingpong_events(current_engine, pairs, rounds),
+        "engine_pingpong_events_per_sec_seed",
+        lambda: engine_pingpong_events(seed_engine, pairs, rounds),
+        repeats=repeats)
+    report.add(PerfMetric("engine_pingpong_events_per_sec",
+                          current_pp.best_rate,
+                          "events/s", baseline=seed_pp.best_rate))
+
+    print(f"• serving: open-loop run (240 rps x {serving_s:g}s)")
+    serving = measure(
+        "serving_requests_per_sec",
+        lambda: serving_run(240.0, serving_s),
+        repeats=max(2, repeats - 2), warmup=0)
+    report.add(PerfMetric("serving_requests_per_sec", serving.rate,
+                          "requests/s"))
+
+    print(f"• cluster: 2-device sharded run (360 rps x {cluster_s:g}s)")
+    cluster = measure(
+        "cluster_requests_per_sec",
+        lambda: cluster_run(360.0, cluster_s),
+        repeats=max(2, repeats - 2), warmup=0)
+    report.add(PerfMetric("cluster_requests_per_sec", cluster.rate,
+                          "requests/s"))
+
+    print(f"• orchestrator: cache miss + {hit_lookups} hit lookups")
+    miss_s, hits_per_s = orchestrator_cache(hit_lookups)
+    report.add(PerfMetric("orchestrator_cache_miss_s", miss_s, "s",
+                          higher_is_better=False))
+    report.add(PerfMetric("orchestrator_cache_hits_per_sec", hits_per_s,
+                          "lookups/s"))
+
+    print(f"• stats: reservoir ingestion ({reservoir_n} samples)")
+    reservoir = measure("reservoir_observes_per_sec",
+                        lambda: reservoir_observes(reservoir_n),
+                        repeats=repeats)
+    report.add(PerfMetric("reservoir_observes_per_sec", reservoir.rate,
+                          "samples/s"))
+
+    print(f"• serving: 64-tenant frontend dispatch ({frontend_n} requests)")
+    frontend = measure("frontend_dispatches_per_sec",
+                       lambda: frontend_dispatches(64, frontend_n),
+                       repeats=max(2, repeats - 2), warmup=0)
+    report.add(PerfMetric("frontend_dispatches_per_sec", frontend.rate,
+                          "requests/s"))
+    return report
+
+
+def format_table(report: PerfReport) -> str:
+    """Human-readable summary (also used by the CI job summary)."""
+    lines = ["| metric | value | unit | baseline | speedup |",
+             "|---|---:|---|---:|---:|"]
+    for name, metric in sorted(report.metrics.items()):
+        baseline = f"{metric.baseline:,.0f}" if metric.baseline else "—"
+        ratio = f"{metric.ratio:.2f}x" if metric.ratio else "—"
+        lines.append(f"| `{name}` | {metric.value:,.2f} | {metric.unit} "
+                     f"| {baseline} | {ratio} |")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per microbenchmark")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_PERF.json "
+                             "(default: repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the engine beats the "
+                             "seed baseline by the required 2x")
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick, repeats=args.repeats)
+    path = report.save(args.output)
+    print()
+    print(format_table(report))
+    print(f"\nwrote {path}")
+
+    if args.check:
+        violations = check_thresholds(report, [ENGINE_SPEEDUP_THRESHOLD])
+        if violations:
+            for violation in violations:
+                print(f"THRESHOLD VIOLATION: {violation}", file=sys.stderr)
+            return 1
+        engine = report.get("engine_events_per_sec")
+        assert engine is not None and engine.ratio is not None
+        print(f"engine speedup vs seed: {engine.ratio:.2f}x (>= 2.00x OK)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Time a serving sweep with the perf toolkit; diff BENCH_PERF snapshots.
+
+Two modes:
+
+1. Default — run a small serving saturation sweep twice through the
+   experiment orchestrator and time it with ``repro.perf.WallTimer``:
+   the first pass simulates (cache misses), the second is served from
+   the result cache, and the printed report shows what the cache buys.
+
+       python examples/perf_profile.py
+
+2. ``--diff OLD.json NEW.json`` — compare two ``BENCH_PERF.json``
+   snapshots (e.g. the committed one vs. a fresh local run) with
+   ``repro.perf.diff_reports`` and flag regressions past the policy
+   tolerance (see PERFORMANCE.md):
+
+       python benchmarks/perf/perfbench.py --output /tmp/now.json
+       python examples/perf_profile.py --diff BENCH_PERF.json /tmp/now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro import PlatformConfig
+from repro.eval import ExperimentOrchestrator, saturation_sweep
+from repro.perf import PerfReport, WallTimer, check_regression, diff_reports
+from repro.serve import ServingScenario, TenantSpec
+
+RATES = (30.0, 60.0, 120.0)
+SYSTEMS = ("SIMD", "IntraO3")
+
+
+def time_serving_sweep() -> None:
+    scenario = ServingScenario(
+        process="poisson", offered_rps=RATES[0], duration_s=2.0, seed=5,
+        tenants=(TenantSpec("web", weight=2.0, slo_s=0.25),
+                 TenantSpec("batch", weight=1.0, slo_s=0.25)))
+    config = PlatformConfig(input_scale=0.01)
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-example-") as cache:
+        orchestrator = ExperimentOrchestrator(cache_dir=cache, workers=2)
+
+        with WallTimer() as cold:
+            curves = saturation_sweep(RATES, SYSTEMS, scenario=scenario,
+                                      config=config,
+                                      orchestrator=orchestrator)
+        with WallTimer() as warm:
+            saturation_sweep(RATES, SYSTEMS, scenario=scenario,
+                             config=config, orchestrator=orchestrator)
+
+    simulations = len(RATES) * len(SYSTEMS)
+    print(f"saturation sweep: {len(RATES)} rates x {len(SYSTEMS)} systems "
+          f"= {simulations} simulations")
+    print(f"  cold (simulated):    {cold.elapsed_s:6.2f} s "
+          f"({simulations / cold.elapsed_s:5.2f} sims/s)")
+    print(f"  warm (cache-served): {warm.elapsed_s:6.2f} s "
+          f"({cold.elapsed_s / max(warm.elapsed_s, 1e-9):,.0f}x faster)")
+    for system, points in curves.items():
+        knees = ", ".join(f"{point.offered_rps:g}rps" for point in points)
+        print(f"  {system:8s} swept: {knees}")
+
+
+def diff_snapshots(old_path: str, new_path: str) -> int:
+    old = PerfReport.load(old_path)
+    new = PerfReport.load(new_path)
+    print(f"old: {old_path} (created {old.created})")
+    print(f"new: {new_path} (created {new.created})")
+    print()
+    print(f"{'metric':38s} {'old':>14s} {'new':>14s} {'speedup':>8s}")
+    for name, entry in diff_reports(old, new).items():
+        if entry.get("only_in_old"):
+            print(f"{name:38s} {entry['old']:>14,.2f} {'—':>14s} {'—':>8s}")
+        elif entry.get("only_in_new"):
+            print(f"{name:38s} {'—':>14s} {entry['new']:>14,.2f} {'—':>8s}")
+        else:
+            speedup = entry["speedup"]
+            shown = f"{speedup:.2f}x" if speedup is not None else "—"
+            print(f"{name:38s} {entry['old']:>14,.2f} "
+                  f"{entry['new']:>14,.2f} {shown:>8s}")
+    regressions = check_regression(old, new)
+    if regressions:
+        print("\nregressions past the 15% policy tolerance:")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print("\nno regressions past the 15% policy tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two BENCH_PERF.json snapshots "
+                             "instead of timing a sweep")
+    args = parser.parse_args(argv)
+    if args.diff:
+        return diff_snapshots(*args.diff)
+    time_serving_sweep()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ class ShardTracker(SLOTracker):
         self._fleet = fleet
 
     def on_completed(self, record: RequestRecord) -> None:
+        """Record the completion locally and forward it to the fleet."""
         super().on_completed(record)
         self._fleet.on_completed(record)
 
@@ -65,6 +66,7 @@ class ClusterDispatcher:
     # Arrival side                                                        #
     # ------------------------------------------------------------------ #
     def routable_shards(self) -> List[DeviceShard]:
+        """Shards currently accepting new traffic (not failed)."""
         return [shard for shard in self.shards if shard.routable]
 
     def submit(self, request: Request) -> RequestRecord:
@@ -94,6 +96,7 @@ class ClusterDispatcher:
 
     @property
     def drained(self) -> bool:
+        """True once every shard's front-end has drained."""
         return all(shard.frontend.drained for shard in self.shards)
 
     # ------------------------------------------------------------------ #

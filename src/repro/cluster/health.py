@@ -56,18 +56,22 @@ class DeviceShard:
     # -- ShardView surface (what placement policies observe) ----------------
     @property
     def queued(self) -> int:
+        """Requests waiting in this shard's front-end queues."""
         return self.frontend.total_queued
 
     @property
     def in_flight(self) -> int:
+        """Requests executing on this shard's backend."""
         return self.backend.in_flight
 
     @property
     def capacity(self) -> int:
+        """Current dispatch capacity (health derating applied)."""
         return self.frontend.dispatch_capacity
 
     @property
     def energy_j(self) -> float:
+        """Energy this shard's device has consumed (joules)."""
         return self.backend.energy_j
 
     # -- health ---------------------------------------------------------------

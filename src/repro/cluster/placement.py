@@ -56,6 +56,7 @@ class PlacementPolicy:
 
     def select(self, request: Request,
                shards: Sequence[ShardView]) -> ShardView:
+        """Pick the shard ``request`` is routed to."""
         raise NotImplementedError
 
 
@@ -72,6 +73,7 @@ class RoundRobinPlacement(PlacementPolicy):
 
     def select(self, request: Request,
                shards: Sequence[ShardView]) -> ShardView:
+        """The next routable device in cyclic index order."""
         by_index = {shard.index: shard for shard in shards}
         for _ in range(self.device_count):
             index = self._cursor
@@ -89,7 +91,9 @@ class LeastOutstandingPlacement(PlacementPolicy):
 
     def select(self, request: Request,
                shards: Sequence[ShardView]) -> ShardView:
+        """The shard with the lowest backlog per unit of capacity."""
         def load(shard: ShardView):
+            """Sort key: (relative backlog, index)."""
             outstanding = shard.queued + shard.in_flight
             return (outstanding / max(shard.capacity, 1), shard.index)
         return min(shards, key=load)
@@ -112,10 +116,12 @@ class TenantAffinityPlacement(PlacementPolicy):
         self.salt = salt
 
     def home_index(self, tenant: str) -> int:
+        """The tenant's stable home device index."""
         return stable_tenant_hash(tenant, self.salt) % self.device_count
 
     def select(self, request: Request,
                shards: Sequence[ShardView]) -> ShardView:
+        """The home device if routable, else the next index after it."""
         by_index = {shard.index: shard for shard in shards}
         home = self.home_index(request.tenant)
         for offset in range(self.device_count):
@@ -132,6 +138,7 @@ class PowerAwarePlacement(PlacementPolicy):
 
     def select(self, request: Request,
                shards: Sequence[ShardView]) -> ShardView:
+        """The shard with the lowest accumulated energy."""
         return min(shards, key=lambda s: (s.energy_j, s.index))
 
 

@@ -49,32 +49,39 @@ class ClusterReport:
 
     @property
     def p50_s(self) -> Optional[float]:
+        """Fleet median end-to-end latency."""
         return self.percentile_s("p50")
 
     @property
     def p95_s(self) -> Optional[float]:
+        """Fleet 95th-percentile end-to-end latency."""
         return self.percentile_s("p95")
 
     @property
     def p99_s(self) -> Optional[float]:
+        """Fleet 99th-percentile end-to-end latency."""
         return self.percentile_s("p99")
 
     @property
     def admission_rate(self) -> float:
+        """Fraction of offered requests admitted fleet-wide."""
         if self.offered == 0:
             return 0.0
         return self.admitted / self.offered
 
     @property
     def device_energy_j(self) -> List[float]:
+        """Per-device energy totals, in device order."""
         return [device.energy_j for device in self.devices]
 
     @property
     def reroutes(self) -> int:
+        """Backlog records moved off failed devices."""
         return int(self.placement_stats.get("reroutes", 0))
 
     # -- serialization --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-safe) form for caching and goldens."""
         return {
             "system": self.system,
             "workload": self.workload,
@@ -100,6 +107,7 @@ class ClusterReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ClusterReport":
+        """Rebuild a report from :meth:`to_dict` output."""
         return cls(
             system=data["system"],
             workload=data["workload"],

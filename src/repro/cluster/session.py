@@ -80,6 +80,7 @@ class ClusterSession:
     # Execution                                                           #
     # ------------------------------------------------------------------ #
     def run(self) -> ClusterReport:
+        """Execute the scenario on the fleet; returns the report."""
         scenario = self.scenario
         env = Environment()
         tenants = [t.name for t in scenario.tenants]
@@ -96,6 +97,7 @@ class ClusterSession:
         if faults:
             env.process(self._fault_driver(env, dispatcher, faults))
         def check_fleet_health():
+            """Surface crashes from any shard's backend processes."""
             for shard in shards:
                 shard.backend.check_health()
 

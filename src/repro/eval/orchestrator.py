@@ -29,6 +29,7 @@ import os
 import pickle
 import re
 import sys
+import threading
 import traceback
 from dataclasses import dataclass
 from functools import cached_property
@@ -225,6 +226,25 @@ def _execute_spec_in_pool(spec: ExperimentSpec):
             f"experiment {key.workload!r} on "
             f"{key.system} failed with "
             f"{type(value).__name__}: {value}\n{detail}")
+
+
+#: Pending specs published for fork-started pool workers.  With the fork
+#: start method the child inherits the parent's memory, so workers can
+#: look experiments up by index instead of receiving a pickled copy of
+#: every spec over the task pipe — shared ``PlatformConfig``/scenario
+#: objects are then never re-serialized per task (only a small int
+#: crosses the pipe).  The list is populated and cleared around the
+#: ``Pool()`` call (fork happens inside it) under ``_FORK_SPECS_LOCK``,
+#: so concurrent orchestrators on different threads cannot fork each
+#: other's specs.  Meaningless to spawn-started workers, which must
+#: receive the spec itself.
+_FORK_SHARED_SPECS: List[Any] = []
+_FORK_SPECS_LOCK = threading.Lock()
+
+
+def _execute_shared_spec_in_pool(index: int):
+    """Fork-context worker entry: run the inherited spec at ``index``."""
+    return _execute_spec_in_pool(_FORK_SHARED_SPECS[index])
 
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]")
@@ -443,11 +463,36 @@ class ExperimentOrchestrator:
             if sys.platform.startswith("linux") \
                     and "fork" in multiprocessing.get_all_start_methods():
                 ctx = multiprocessing.get_context("fork")
+                use_fork = True
             else:
                 ctx = multiprocessing.get_context()
+                use_fork = False
             processes = min(self.workers, len(pending))
-            with ctx.Pool(processes=processes) as pool:
-                outcomes = pool.map(_execute_spec_in_pool, pending)
+            # Chunked submission: hand each worker a batch instead of one
+            # task per IPC round-trip, while keeping at least ~2 chunks
+            # per worker so a slow experiment cannot strand a whole tail.
+            chunksize = max(1, len(pending) // (processes * 2))
+            if use_fork:
+                # Workers inherit the pending specs through fork and look
+                # them up by index — no per-task spec pickling, and specs
+                # sharing config/scenario objects are never re-serialized.
+                # The global is only needed during Pool() itself (that is
+                # when fork snapshots our memory), so it is set and
+                # cleared inside the lock; the map can run outside it.
+                with _FORK_SPECS_LOCK:
+                    _FORK_SHARED_SPECS[:] = pending
+                    try:
+                        pool = ctx.Pool(processes=processes)
+                    finally:
+                        _FORK_SHARED_SPECS.clear()
+                with pool:
+                    outcomes = pool.map(_execute_shared_spec_in_pool,
+                                        range(len(pending)),
+                                        chunksize=chunksize)
+            else:
+                with ctx.Pool(processes=processes) as pool:
+                    outcomes = pool.map(_execute_spec_in_pool, pending,
+                                        chunksize=chunksize)
         else:
             outcomes = [_execute_spec(spec) for spec in pending]
         # Cache every completed simulation before surfacing failures, so

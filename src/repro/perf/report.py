@@ -1,0 +1,183 @@
+"""The ``BENCH_PERF.json`` schema: metrics, reports, snapshots, diffs.
+
+A :class:`PerfReport` is the machine-readable artifact the wall-clock
+microbenchmarks emit at the repo root (``BENCH_PERF.json``) so the
+simulator's own speed is tracked PR-over-PR.  Each :class:`PerfMetric`
+may embed a ``baseline`` measured *in the same run* (e.g. the seed
+engine snapshot driven by the same workload), so speedup claims inside
+one file compare like with like on the same host.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "created": "2026-07-30T12:00:00+00:00",
+      "host": {"python": "3.11.7", "platform": "Linux-..."},
+      "config": {"mode": "full", "repeats": 5},
+      "metrics": {
+        "engine_events_per_sec": {
+          "value": 1250000.0, "unit": "events/s",
+          "higher_is_better": true, "baseline": 590000.0
+        },
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Bump when the on-disk shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class PerfMetric:
+    """One named wall-clock measurement.
+
+    ``baseline`` (optional) is a reference measurement taken in the same
+    run under identical conditions — the seed-engine snapshot for the
+    engine microbenchmark — making :attr:`ratio` a same-host speedup.
+    """
+
+    name: str
+    value: float
+    unit: str
+    higher_is_better: bool = True
+    baseline: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Improvement over the embedded baseline (>1 means better).
+
+        ``None`` when no baseline was recorded.  For lower-is-better
+        metrics the ratio is inverted so >1 still means improvement.
+        """
+        if self.baseline is None or self.baseline == 0 or self.value == 0:
+            return None
+        if self.higher_is_better:
+            return self.value / self.baseline
+        return self.baseline / self.value
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+        }
+        if self.baseline is not None:
+            data["baseline"] = self.baseline
+        return data
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, object]) -> "PerfMetric":
+        baseline = data.get("baseline")
+        return cls(
+            name=name,
+            value=float(data["value"]),  # type: ignore[arg-type]
+            unit=str(data.get("unit", "")),
+            higher_is_better=bool(data.get("higher_is_better", True)),
+            baseline=None if baseline is None else float(baseline),  # type: ignore[arg-type]
+        )
+
+
+def _host_info() -> Dict[str, str]:
+    return {"python": _platform.python_version(),
+            "platform": _platform.platform()}
+
+
+@dataclass
+class PerfReport:
+    """A set of named metrics plus provenance, serializable to JSON."""
+
+    metrics: Dict[str, PerfMetric] = field(default_factory=dict)
+    created: Optional[str] = None
+    host: Dict[str, str] = field(default_factory=_host_info)
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.created is None:
+            self.created = datetime.now(timezone.utc).isoformat(
+                timespec="seconds")
+
+    def add(self, metric: PerfMetric) -> PerfMetric:
+        """Record ``metric`` under its name (replacing any previous one)."""
+        self.metrics[metric.name] = metric
+        return metric
+
+    def get(self, name: str) -> Optional[PerfMetric]:
+        """The metric called ``name``, or ``None``."""
+        return self.metrics.get(name)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "created": self.created,
+            "host": dict(self.host),
+            "config": dict(self.config),
+            "metrics": {name: metric.to_dict()
+                        for name, metric in sorted(self.metrics.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PerfReport":
+        schema = int(data.get("schema", 0))  # type: ignore[arg-type]
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported BENCH_PERF schema {schema} "
+                f"(this code reads version {SCHEMA_VERSION})")
+        metrics_data = data.get("metrics", {})
+        metrics = {name: PerfMetric.from_dict(name, entry)
+                   for name, entry in metrics_data.items()}  # type: ignore[union-attr]
+        return cls(metrics=metrics,
+                   created=data.get("created"),  # type: ignore[arg-type]
+                   host=dict(data.get("host", {})),  # type: ignore[arg-type]
+                   config=dict(data.get("config", {})))  # type: ignore[arg-type]
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the report as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=False)
+                        + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PerfReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def diff_reports(old: PerfReport, new: PerfReport) -> Dict[str, Dict[str, object]]:
+    """Metric-by-metric comparison of two snapshots.
+
+    Returns ``{name: {"old": ..., "new": ..., "speedup": ...}}`` for every
+    metric present in both reports (``speedup`` > 1 means ``new`` improved,
+    with lower-is-better metrics inverted), plus ``"only_in_old"`` /
+    ``"only_in_new"`` markers for metrics without a counterpart.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for name in sorted(set(old.metrics) | set(new.metrics)):
+        old_metric = old.metrics.get(name)
+        new_metric = new.metrics.get(name)
+        if old_metric is None:
+            assert new_metric is not None
+            out[name] = {"only_in_new": True, "new": new_metric.value}
+            continue
+        if new_metric is None:
+            out[name] = {"only_in_old": True, "old": old_metric.value}
+            continue
+        if old_metric.value == 0 or new_metric.value == 0:
+            speedup = None
+        elif new_metric.higher_is_better:
+            speedup = new_metric.value / old_metric.value
+        else:
+            speedup = old_metric.value / new_metric.value
+        out[name] = {"old": old_metric.value, "new": new_metric.value,
+                     "unit": new_metric.unit, "speedup": speedup}
+    return out

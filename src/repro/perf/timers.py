@@ -1,0 +1,137 @@
+"""Wall-clock measurement primitives for the perf harness.
+
+Everything here measures *host* wall-clock time (``time.perf_counter``),
+never simulated time: the perf subsystem tracks how fast the simulator
+itself runs, not what it predicts.  See PERFORMANCE.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class WallTimer:
+    """Context manager that captures elapsed wall-clock seconds.
+
+    >>> with WallTimer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed_s > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.started_at: Optional[float] = None
+        self.elapsed_s: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self.started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        assert self.started_at is not None
+        self.elapsed_s = time.perf_counter() - self.started_at
+
+
+@dataclass
+class Measurement:
+    """Repeated timings of one benchmark body.
+
+    ``units`` is how many benchmark-defined work items (events, requests,
+    samples) one run processes; rates are derived from it.
+    """
+
+    name: str
+    units: float
+    runs_s: List[float] = field(default_factory=list)
+
+    @property
+    def best_s(self) -> float:
+        """Fastest observed run (least interference)."""
+        if not self.runs_s:
+            raise ValueError("no runs recorded")
+        return min(self.runs_s)
+
+    @property
+    def median_s(self) -> float:
+        """Median run — the robust default for reported rates."""
+        if not self.runs_s:
+            raise ValueError("no runs recorded")
+        return statistics.median(self.runs_s)
+
+    @property
+    def rate(self) -> float:
+        """Units per second over the median run."""
+        return self.units / self.median_s
+
+    @property
+    def best_rate(self) -> float:
+        """Units per second over the fastest run."""
+        return self.units / self.best_s
+
+
+def measure_ab(name_a: str, body_a: Callable[[], float],
+               name_b: str, body_b: Callable[[], float], *,
+               repeats: int = 5, warmup: int = 1
+               ) -> "tuple[Measurement, Measurement]":
+    """Measure two bodies interleaved (A, B, A, B, ...) for a fair ratio.
+
+    Sequential measurement (all of A, then all of B) lets a background
+    load spike land entirely on one side and skew the ratio; strict
+    interleaving spreads host noise over both.  Compare the two sides
+    with :attr:`Measurement.best_rate` — the fastest run is the least
+    contended one, which is the honest same-host comparison (this is how
+    the engine-vs-seed speedup in BENCH_PERF.json is computed).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        body_a()
+        body_b()
+    measurement_a: Optional[Measurement] = None
+    measurement_b: Optional[Measurement] = None
+    for _ in range(repeats):
+        for side, body in ((0, body_a), (1, body_b)):
+            start = time.perf_counter()
+            units = body()
+            elapsed = time.perf_counter() - start
+            if side == 0:
+                if measurement_a is None:
+                    measurement_a = Measurement(name_a, float(units))
+                measurement_a.runs_s.append(elapsed)
+            else:
+                if measurement_b is None:
+                    measurement_b = Measurement(name_b, float(units))
+                measurement_b.runs_s.append(elapsed)
+    assert measurement_a is not None and measurement_b is not None
+    return measurement_a, measurement_b
+
+
+def measure(name: str, body: Callable[[], float], *, repeats: int = 5,
+            warmup: int = 1) -> Measurement:
+    """Run ``body`` ``repeats`` times and collect a :class:`Measurement`.
+
+    ``body`` performs one benchmark run and returns the number of work
+    units it processed; the harness times each call.  ``warmup`` runs are
+    executed first and discarded (interpreter warm-up, cache priming).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        body()
+    measurement: Optional[Measurement] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        units = body()
+        elapsed = time.perf_counter() - start
+        if measurement is None:
+            measurement = Measurement(name=name, units=float(units))
+        elif float(units) != measurement.units:
+            raise ValueError(
+                f"benchmark {name!r} is not steady: run processed "
+                f"{units} units, previous runs {measurement.units}")
+        measurement.runs_s.append(elapsed)
+    assert measurement is not None
+    return measurement

@@ -38,6 +38,7 @@ class AdmissionController:
     name = "none"
 
     def admit(self, request: Request, frontend: FrontendView) -> bool:
+        """Decide at arrival time whether ``request`` may enqueue."""
         return True
 
     def observe_service_time(self, service_s: float) -> None:
@@ -65,6 +66,7 @@ class QueueDepthAdmission(AdmissionController):
         self.max_total_depth = max_total_depth
 
     def admit(self, request: Request, frontend: FrontendView) -> bool:
+        """Admit while the tenant (and total) backlog is under bound."""
         if frontend.queue_depth(request.tenant) >= self.max_tenant_depth:
             return False
         if self.max_total_depth is not None \
@@ -99,6 +101,7 @@ class DeadlineAwareAdmission(AdmissionController):
         self.backstop_depth = backstop_depth
 
     def observe_service_time(self, service_s: float) -> None:
+        """Fold one observed service time into the EWMA estimate."""
         if self.service_estimate_s <= 0:
             self.service_estimate_s = service_s
         else:
@@ -113,6 +116,7 @@ class DeadlineAwareAdmission(AdmissionController):
         return (waves + 1.0) * self.service_estimate_s
 
     def admit(self, request: Request, frontend: FrontendView) -> bool:
+        """Admit unless the estimated completion would miss the SLO."""
         if self.backstop_depth is not None \
                 and frontend.total_queued >= self.backstop_depth:
             return False

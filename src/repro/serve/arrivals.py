@@ -153,6 +153,7 @@ class MMPPArrivals(ArrivalProcess):
         self.burst_dwell_s = burst_dwell_s
 
     def mean_rate_rps(self) -> float:
+        """Long-run average rate over the normal/burst dwell cycle."""
         weight_normal = self.normal_dwell_s
         weight_burst = self.burst_dwell_s
         return (self.rate_rps * weight_normal
@@ -204,6 +205,7 @@ class DiurnalArrivals(ArrivalProcess):
         self.floor_fraction = floor_fraction
 
     def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t`` (cosine ramp)."""
         wave = (1.0 - math.cos(2.0 * math.pi * t / self.period_s)) / 2.0
         return self.peak_rate_rps * (
             self.floor_fraction + (1.0 - self.floor_fraction) * wave)
@@ -251,6 +253,7 @@ class TraceArrivals(ArrivalProcess):
         return cls(load_trace(path), tenants)
 
     def generate(self, duration_s: float) -> List[Request]:
+        """Materialize trace events before ``duration_s`` as requests."""
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
         slo_by_tenant = {t.name: t.slo_s for t in self.tenants}

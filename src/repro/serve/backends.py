@@ -44,6 +44,7 @@ class ServingBackend:
 
     def dispatch(self, record: RequestRecord,
                  on_complete: CompletionCallback) -> None:
+        """Execute ``record``; call ``on_complete(record, now)`` when done."""
         raise NotImplementedError
 
     def finish(self) -> None:
@@ -66,6 +67,7 @@ class ServingBackend:
 
     @property
     def energy_j(self) -> float:
+        """Total energy the backend's device has consumed (joules)."""
         return 0.0
 
 
@@ -82,10 +84,12 @@ class AcceleratorBackend(ServingBackend):
         accelerator.add_completion_listener(self._on_kernel_complete)
 
     def start(self) -> None:
+        """Enter service mode on the accelerator."""
         self.accelerator.begin_service()
 
     def dispatch(self, record: RequestRecord,
                  on_complete: CompletionCallback) -> None:
+        """Offload one request's kernel into the running scheduler."""
         kernel = self.kernel_factory(record.request)
         self._pending[kernel.kernel_id] = (record, on_complete)
         self.in_flight += 1
@@ -102,6 +106,7 @@ class AcceleratorBackend(ServingBackend):
         on_complete(record, now)
 
     def finish(self) -> None:
+        """Leave service mode; stop Storengine and drain buffered writes."""
         self.accelerator.end_service()
         # Stop the background loop, then flush the buffered flash writes
         # (mirrors run_workload): stop() alone would drop any bytes
@@ -113,14 +118,17 @@ class AcceleratorBackend(ServingBackend):
             self.env.process(self.accelerator.storengine.drain()))
 
     def check_health(self) -> None:
+        """Surface crashes from backend processes and the service loop."""
         super().check_health()
         self.accelerator.check_service_health()
 
     @property
     def energy_j(self) -> float:
+        """Accelerator energy breakdown total (joules)."""
         return self.accelerator.energy.breakdown.total
 
     def scheduler_stats(self) -> Dict[str, float]:
+        """Scheduler counters for the serving report."""
         return self.accelerator._scheduler_stats()
 
 
@@ -134,6 +142,7 @@ class BaselineBackend(ServingBackend):
 
     def dispatch(self, record: RequestRecord,
                  on_complete: CompletionCallback) -> None:
+        """Run one request through the serial SSD -> host -> PCIe path."""
         self.in_flight += 1
         self.dispatched += 1
         self._procs.append(self.env.process(
@@ -148,9 +157,11 @@ class BaselineBackend(ServingBackend):
 
     @property
     def energy_j(self) -> float:
+        """Baseline-system energy breakdown total (joules)."""
         return self.system.energy.breakdown.total
 
     def scheduler_stats(self) -> Dict[str, float]:
+        """SSD request counters for the serving report."""
         return {
             "ssd_reads": float(self.system.ssd.read_requests),
             "ssd_writes": float(self.system.ssd.write_requests),

@@ -41,6 +41,11 @@ class ServingFrontend:
         self._order = list(tenants)
         self._next_tenant = 0
         self._open = True
+        # Total queued requests, maintained incrementally: the dispatch
+        # loop re-reads it after every dispatch and completion, and
+        # summing the per-tenant deques there is O(tenants) per check —
+        # measurably slow for wide tenant sets (see PERFORMANCE.md).
+        self._queued_total = 0
         # Optional derating of the backend's dispatch capacity (the
         # cluster layer's slow/failed-device model); None = full capacity.
         self.capacity_limit: Optional[int] = None
@@ -51,18 +56,22 @@ class ServingFrontend:
     # FrontendView protocol (what admission policies may observe)         #
     # ------------------------------------------------------------------ #
     def queue_depth(self, tenant: str) -> int:
+        """Number of requests waiting in ``tenant``'s queue."""
         return len(self.queues[tenant])
 
     @property
     def total_queued(self) -> int:
-        return sum(len(q) for q in self.queues.values())
+        """Requests waiting across all tenant queues (O(1))."""
+        return self._queued_total
 
     @property
     def in_flight(self) -> int:
+        """Requests currently executing on the backend."""
         return self.backend.in_flight
 
     @property
     def dispatch_capacity(self) -> int:
+        """Concurrent-dispatch bound (backend capacity, possibly derated)."""
         if self.capacity_limit is None:
             return self.backend.capacity
         return min(self.backend.capacity, self.capacity_limit)
@@ -84,6 +93,7 @@ class ServingFrontend:
         record.admitted_at = self.env.now
         self.tracker.on_admitted(request.tenant)
         self.queues[request.tenant].append(record)
+        self._queued_total += 1
         self._kick()
         return record
 
@@ -99,6 +109,7 @@ class ServingFrontend:
             raise ValueError(f"unknown tenant {record.request.tenant!r}")
         record.status = RequestStatus.QUEUED
         self.queues[record.request.tenant].append(record)
+        self._queued_total += 1
         self._kick()
 
     def evict_queued(self) -> List[RequestRecord]:
@@ -113,6 +124,7 @@ class ServingFrontend:
             queue = self.queues[tenant]
             evicted.extend(queue)
             queue.clear()
+        self._queued_total = 0
         return evicted
 
     def close(self) -> None:
@@ -122,6 +134,7 @@ class ServingFrontend:
 
     @property
     def drained(self) -> bool:
+        """True once closed with empty queues and nothing in flight."""
         return (not self._open and self.total_queued == 0
                 and self.backend.in_flight == 0)
 
@@ -135,22 +148,33 @@ class ServingFrontend:
 
     def _pop_next(self) -> RequestRecord:
         """Round-robin over non-empty tenant queues."""
-        for _ in range(len(self._order)):
-            tenant = self._order[self._next_tenant]
-            self._next_tenant = (self._next_tenant + 1) % len(self._order)
-            queue = self.queues[tenant]
+        order = self._order
+        queues = self.queues
+        count = len(order)
+        nxt = self._next_tenant
+        for _ in range(count):
+            queue = queues[order[nxt]]
+            nxt += 1
+            if nxt == count:
+                nxt = 0
             if queue:
+                self._next_tenant = nxt
+                self._queued_total -= 1
                 return queue.popleft()
+        self._next_tenant = nxt
         raise RuntimeError("no queued request to pop")
 
     def _dispatch_loop(self):
+        backend = self.backend
+        dispatch = backend.dispatch
+        on_complete = self._on_complete
         while True:
-            while (self.backend.in_flight < self.dispatch_capacity
-                   and self.total_queued > 0):
+            while (backend.in_flight < self.dispatch_capacity
+                   and self._queued_total > 0):
                 record = self._pop_next()
                 record.dispatched_at = self.env.now
                 record.status = RequestStatus.RUNNING
-                self.backend.dispatch(record, self._on_complete)
+                dispatch(record, on_complete)
             if self.drained:
                 return
             yield self._wake

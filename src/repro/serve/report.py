@@ -41,30 +41,36 @@ class ServingReport:
 
     @property
     def p50_s(self) -> Optional[float]:
+        """Median end-to-end latency."""
         return self.percentile_s("p50")
 
     @property
     def p95_s(self) -> Optional[float]:
+        """95th-percentile end-to-end latency."""
         return self.percentile_s("p95")
 
     @property
     def p99_s(self) -> Optional[float]:
+        """99th-percentile end-to-end latency."""
         return self.percentile_s("p99")
 
     @property
     def admission_rate(self) -> float:
+        """Fraction of offered requests that were admitted."""
         if self.offered == 0:
             return 0.0
         return self.admitted / self.offered
 
     @property
     def completed_rps(self) -> float:
+        """Completions per second of the offered-load window."""
         if self.duration_s <= 0:
             return 0.0
         return self.completed / self.duration_s
 
     # -- serialization --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-safe) form for caching and goldens."""
         return {
             "system": self.system,
             "workload": self.workload,
@@ -86,6 +92,7 @@ class ServingReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ServingReport":
+        """Rebuild a report from :meth:`to_dict` output."""
         return cls(
             system=data["system"],
             workload=data["workload"],

@@ -26,6 +26,7 @@ class Request:
 
     @property
     def deadline_s(self) -> Optional[float]:
+        """Absolute completion deadline, or None without an SLO."""
         if self.slo_s is None:
             return None
         return self.arrival_s + self.slo_s
@@ -52,6 +53,7 @@ class RequestRecord:
 
     @property
     def tenant(self) -> str:
+        """Owning tenant (delegates to the request)."""
         return self.request.tenant
 
     @property
@@ -63,12 +65,14 @@ class RequestRecord:
 
     @property
     def queue_delay_s(self) -> Optional[float]:
+        """Arrival-to-dispatch wait, or None if not dispatched."""
         if self.dispatched_at is None:
             return None
         return self.dispatched_at - self.request.arrival_s
 
     @property
     def service_s(self) -> Optional[float]:
+        """Dispatch-to-completion time, or None while pending."""
         if self.completed_at is None or self.dispatched_at is None:
             return None
         return self.completed_at - self.dispatched_at

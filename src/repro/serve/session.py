@@ -59,6 +59,7 @@ def make_kernel_factory(scenario: "ServingScenario",
     input_scale = config.input_scale
 
     def build(request: Request) -> Kernel:
+        """Build the deterministic kernel for one request."""
         characteristics = lookup(request.workload)
         return build_workload_kernel(
             characteristics,
@@ -234,6 +235,7 @@ class ServingScenario:
     # Factories                                                           #
     # ------------------------------------------------------------------ #
     def make_arrivals(self) -> ArrivalProcess:
+        """Instantiate the scenario's arrival process."""
         if self.process == "poisson":
             return PoissonArrivals(self.offered_rps, self.tenants,
                                    self.workloads, self.seed)
@@ -252,6 +254,7 @@ class ServingScenario:
                              self.seed)
 
     def make_admission(self):
+        """Instantiate the scenario's admission controller."""
         if self.admission == "queue_depth":
             return make_admission("queue_depth",
                                   max_tenant_depth=self.max_queue_depth)
@@ -261,6 +264,7 @@ class ServingScenario:
     # Serialization                                                       #
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
+        """Plain-dict (JSON-safe) form; keys the experiment cache."""
         return {
             "process": self.process,
             "offered_rps": self.offered_rps,
@@ -281,6 +285,7 @@ class ServingScenario:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ServingScenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
         tenants = tuple(TenantSpec(name, weight, slo)
                         for name, weight, slo in data.get("tenants", []))
         trace = tuple((float(t), str(tenant), str(workload))
@@ -305,6 +310,7 @@ class ServingScenario:
         )
 
     def with_overrides(self, **kwargs) -> "ServingScenario":
+        """Copy of the scenario with ``kwargs`` fields replaced."""
         from dataclasses import replace
         return replace(self, **kwargs)
 
@@ -323,6 +329,7 @@ class ServingSession:
     # Execution                                                           #
     # ------------------------------------------------------------------ #
     def run(self) -> ServingReport:
+        """Execute the scenario end to end; returns the report."""
         scenario = self.scenario
         backend = self._build_backend()
         env = backend.env

@@ -35,15 +35,19 @@ class TenantAccount:
 
     # -- event feed ----------------------------------------------------------
     def on_offered(self) -> None:
+        """Count one arrival."""
         self.offered += 1
 
     def on_admitted(self) -> None:
+        """Count one admission."""
         self.admitted += 1
 
     def on_rejected(self) -> None:
+        """Count one rejection."""
         self.rejected += 1
 
     def on_completed(self, record: RequestRecord) -> None:
+        """Count one completion and record its end-to-end latency."""
         self.completed += 1
         latency = record.latency_s
         assert latency is not None
@@ -58,16 +62,19 @@ class TenantAccount:
         return self.completed - self.slo_violations
 
     def goodput_rps(self, duration_s: float) -> float:
+        """In-SLO completions per second over ``duration_s``."""
         if duration_s <= 0:
             return 0.0
         return self.good / duration_s
 
     def percentile(self, pct: float) -> Optional[float]:
+        """Latency percentile, or None with no samples."""
         if self.latency.count == 0:
             return None
         return self.latency.percentile(pct)
 
     def as_dict(self, duration_s: float) -> Dict[str, object]:
+        """Counters plus latency summary as a plain dict."""
         out: Dict[str, object] = {
             "offered": self.offered,
             "admitted": self.admitted,
@@ -98,36 +105,44 @@ class SLOTracker:
         self.aggregate = TenantAccount("__all__", reservoir_capacity, seed)
 
     def account(self, tenant: str) -> TenantAccount:
+        """The account for ``tenant`` (KeyError if unknown)."""
         return self.accounts[tenant]
 
     # -- event feed (mirrors TenantAccount) -----------------------------------
     def on_offered(self, tenant: str) -> None:
+        """Record one arrival for ``tenant`` and the aggregate."""
         self.accounts[tenant].on_offered()
         self.aggregate.on_offered()
 
     def on_admitted(self, tenant: str) -> None:
+        """Record one admission for ``tenant`` and the aggregate."""
         self.accounts[tenant].on_admitted()
         self.aggregate.on_admitted()
 
     def on_rejected(self, tenant: str) -> None:
+        """Record one rejection for ``tenant`` and the aggregate."""
         self.accounts[tenant].on_rejected()
         self.aggregate.on_rejected()
 
     def on_completed(self, record: RequestRecord) -> None:
+        """Record one completion for its tenant and the aggregate."""
         self.accounts[record.tenant].on_completed(record)
         self.aggregate.on_completed(record)
 
     # -- aggregate views -------------------------------------------------------
     @property
     def offered(self) -> int:
+        """Total requests offered across all tenants."""
         return self.aggregate.offered
 
     @property
     def completed(self) -> int:
+        """Total requests completed across all tenants."""
         return self.aggregate.completed
 
     @property
     def rejected(self) -> int:
+        """Total requests rejected across all tenants."""
         return self.aggregate.rejected
 
     @property
@@ -136,4 +151,5 @@ class SLOTracker:
         return self.aggregate.completed + self.aggregate.rejected
 
     def tenants(self) -> List[str]:
+        """Tenant names, sorted for deterministic iteration."""
         return sorted(self.accounts)

@@ -11,6 +11,33 @@ LWPs, memories, crossbars, the flash backbone, the host storage stack of
 the baseline, and the FlashAbacus schedulers all run as processes on a
 single :class:`Environment`.
 
+Performance notes (see PERFORMANCE.md for the full hot-path map)
+----------------------------------------------------------------
+Every simulated activity flows through this module, so its per-event
+constant factor bounds the wall-clock speed of the entire repository.
+The implementation trades a little prettiness for speed on the hot
+paths while keeping the public API and the exact event ordering (and
+therefore byte-identical simulation results) stable:
+
+* Heap entries are ``(time, seq, event)`` triples where ``seq`` folds
+  the scheduling priority into the high bits of a monotonically
+  increasing sequence number — one comparison key and one tuple slot
+  fewer than the classic ``(time, priority, eid, event)`` layout, with
+  the identical ordering.
+* ``Environment.timeout`` / ``event`` build objects with ``__new__`` +
+  direct slot writes and push heap entries inline instead of chaining
+  ``__init__``/``_schedule`` calls (the constructor chain used to be
+  three frames deep per event), and recycle processed, unreferenced
+  :class:`Timeout`/:class:`Event` objects through small free lists
+  guarded by ``sys.getrefcount``.
+* ``Environment.run`` inlines the pop/dispatch loop with local aliases
+  (no per-event ``step()``/``peek()`` method calls), with a separate
+  tight loop for the run-to-drain case.
+* :meth:`Process._resume` is entered through a bound method cached at
+  process creation (no per-wait method-object allocation) and resumes
+  synchronously over already-processed events instead of scheduling
+  "immediate" bounce events.
+
 Example
 -------
 >>> env = Environment()
@@ -28,8 +55,11 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -49,6 +79,18 @@ URGENT = 0
 NORMAL = 1
 LOW = 2
 
+#: Priorities occupy the bits above the per-environment sequence number
+#: in a heap entry's ``seq`` key, so ``(time, seq)`` sorts exactly like
+#: ``(time, priority, eid)`` as long as fewer than 2**52 events are ever
+#: scheduled on one environment (an unreachable count in practice).
+_PRIORITY_SHIFT = 52
+_SEQ_NORMAL = NORMAL << _PRIORITY_SHIFT
+
+#: Upper bounds on the free lists.  Steady-state simulations rarely keep
+#: more than a few hundred timeouts/events pending at once; the caps keep
+#: a pathological burst from pinning memory.
+_POOL_LIMIT = 512
+
 
 class Event:
     """A one-shot occurrence in virtual time.
@@ -61,9 +103,8 @@ class Event:
 
     # Every simulated activity allocates events, so they are the hottest
     # allocation site of the whole engine; __slots__ drops the per-event
-    # dict.  ``_interrupting`` is only set on interrupt-carrier events.
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
-                 "_interrupting")
+    # dict.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -100,7 +141,10 @@ class Event:
             raise SimulationError("event has already been triggered")
         self._triggered = True
         self._value = value
-        self.env._schedule(self, priority)
+        env = self.env
+        eid = env._eid = env._eid + 1
+        _heappush(env._queue,
+                  (env._now, (priority << _PRIORITY_SHIFT) | eid, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -112,7 +156,10 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self, priority)
+        env = self.env
+        eid = env._eid = env._eid + 1
+        _heappush(env._queue,
+                  (env._now, (priority << _PRIORITY_SHIFT) | eid, self))
         return self
 
     # -- composition -----------------------------------------------------
@@ -124,7 +171,11 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed delay."""
+    """An event that triggers after a fixed delay.
+
+    Prefer :meth:`Environment.timeout`, which recycles processed timeout
+    objects through a free list; direct construction always allocates.
+    """
 
     __slots__ = ("delay",)
 
@@ -135,7 +186,9 @@ class Timeout(Event):
         self.delay = delay
         self._triggered = True
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        eid = env._eid = env._eid + 1
+        _heappush(env._queue,
+                  (env._now + delay, _SEQ_NORMAL | eid, self))
 
 
 class Process(Event):
@@ -145,7 +198,11 @@ class Process(Event):
     (with the generator's return value) or raises.
     """
 
-    __slots__ = ("_generator", "_target")
+    # ``_resume_cb``/``_send`` cache bound methods: every wait registers
+    # ``_resume`` as a callback and every resume calls ``send``, and
+    # creating the method objects anew on each yield is measurable on
+    # the hot path.
+    __slots__ = ("_generator", "_target", "_resume_cb", "_send")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -153,11 +210,14 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._resume_cb = self._resume
+        self._send = generator.send
         # Bootstrap: resume the process immediately (at the current time).
-        init = Event(env)
+        init = env.event()
         init._triggered = True
-        init.callbacks.append(self._resume)
-        env._schedule(init, URGENT)
+        init.callbacks.append(self._resume_cb)
+        eid = env._eid = env._eid + 1
+        _heappush(env._queue, (env._now, eid, init))   # URGENT priority
 
     @property
     def is_alive(self) -> bool:
@@ -170,27 +230,33 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
-        event = Event(self.env)
+        env = self.env
+        event = Event(env)
         event._triggered = True
         event._ok = False
         event._value = Interrupt(cause)
-        event._interrupting = self
-        event.callbacks.append(self._resume)
-        self.env._schedule(event, URGENT)
+        event.callbacks.append(self._resume_cb)
+        eid = env._eid = env._eid + 1
+        _heappush(env._queue, (env._now, eid, event))  # URGENT priority
 
     def _resume(self, event: Event) -> None:
+        # The timeout-wait-resume cycle runs through here once per event;
+        # everything is aliased to locals, ``_active_process`` is written
+        # once per resume (no user code runs between sends), and the
+        # generator is driven synchronously across already-processed
+        # events (no bounce event).
         env = self.env
-        generator = self._generator
+        send = self._send
+        env._active_process = self
         while True:
-            env._active_process = self
             try:
-                if event.ok:
-                    result = generator.send(event.value)
+                if event._ok:
+                    result = send(event._value)
                 else:
-                    result = generator.throw(event.value)
+                    result = self._generator.throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self.succeed(stop.value, priority=URGENT)
@@ -199,19 +265,23 @@ class Process(Event):
                 env._active_process = None
                 self.fail(exc, priority=URGENT)
                 return
-            env._active_process = None
 
-            if not isinstance(result, Event):
+            self._target = result
+            try:
+                callbacks = result.callbacks
+            except AttributeError:
                 # Yielding something that is not an event is a programming
-                # error in the process; fail the process rather than crashing
-                # the whole simulation loop.
+                # error in the process; fail the process rather than
+                # crashing the whole simulation loop.
+                env._active_process = None
+                self._target = None
                 self.fail(SimulationError(
                     f"process yielded a non-event: {result!r}"),
                     priority=URGENT)
                 return
-            self._target = result
-            if result.callbacks is not None:
-                result.callbacks.append(self._resume)
+            if callbacks is not None:
+                callbacks.append(self._resume_cb)
+                env._active_process = None
                 return
             # The yielded event was already processed: resume synchronously
             # with its value instead of allocating and scheduling an extra
@@ -273,11 +343,20 @@ class AnyOf(Condition):
 class Environment:
     """Owns the virtual clock and the pending event queue."""
 
+    # The clock, the sequence counter and the active-process marker are
+    # written once or twice per event; __slots__ keeps those accesses on
+    # the fast path (and events hold a reference each, so the per-object
+    # dict would be pure overhead).
+    __slots__ = ("_now", "_queue", "_eid", "_active_process",
+                 "_timeout_pool", "_event_pool")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
-        self._eid = itertools.count()
+        self._eid = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: List[Timeout] = []
+        self._event_pool: List[Event] = []
 
     @property
     def now(self) -> float:
@@ -286,16 +365,49 @@ class Environment:
 
     @property
     def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
         return self._active_process
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
-        """Create a fresh, untriggered event."""
-        return Event(self)
+        """Create a fresh, untriggered event.
+
+        Recycles processed, unreferenced events from a free list; the
+        returned object is indistinguishable from a fresh one.
+        """
+        try:
+            event = self._event_pool.pop()
+        except IndexError:
+            event = Event.__new__(Event)
+            event.env = self
+            event.callbacks = []
+        event._value = None
+        event._ok = True
+        event._triggered = False
+        return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        try:
+            # Recycled timeouts already have ``_ok=True``/``_triggered=
+            # True`` (a timeout is born triggered and can never fail) and
+            # an empty callbacks list, so only value and delay need to be
+            # written.
+            timeout = self._timeout_pool.pop()
+        except IndexError:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout._ok = True
+            timeout._triggered = True
+        timeout._value = value
+        timeout.delay = delay
+        eid = self._eid = self._eid + 1
+        _heappush(self._queue,
+                  (self._now + delay, _SEQ_NORMAL | eid, timeout))
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         """Register ``generator`` as a new process starting now."""
@@ -311,9 +423,15 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        """Push ``event`` onto the pending heap ``delay`` from now.
+
+        Hot engine paths push inline; this remains the one documented
+        entry point for subclasses and tests that schedule by hand.
+        """
+        eid = self._eid = self._eid + 1
+        _heappush(self._queue,
+                  (self._now + delay, (priority << _PRIORITY_SHIFT) | eid,
+                   event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none is pending."""
@@ -323,26 +441,139 @@ class Environment:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        time, _prio, _eid, event = heapq.heappop(self._queue)
+        time, _seq, event = _heappop(self._queue)
         if time < self._now - 1e-18:
             raise SimulationError("event scheduled in the past")
-        self._now = max(self._now, time)
-        callbacks, event.callbacks = event.callbacks, None
+        if time > self._now:
+            self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
         if callbacks is None:
             return
         for callback in callbacks:
             callback(event)
-        if not event.ok and not callbacks and not isinstance(event, Process):
-            raise event.value
+        if callbacks:
+            self._recycle(event, callbacks)
+        elif not event._ok and type(event) is not Process:
+            raise event._value
+
+    def _recycle(self, event: Event, callbacks: List) -> None:
+        """Return a processed, otherwise-unreferenced event to its pool.
+
+        The ``getrefcount == 3`` guard (the caller's local, our argument
+        binding, and getrefcount's own argument) proves no simulation
+        code can still observe the object, so reuse is undetectable.  The
+        just-drained callbacks list is re-attached empty, saving the list
+        allocation on the next creation.
+        """
+        cls = type(event)
+        if cls is Timeout:
+            pool = event.env._timeout_pool
+        elif cls is Event:
+            pool = event.env._event_pool
+        else:
+            return
+        if len(pool) < _POOL_LIMIT and getrefcount(event) == 3:
+            callbacks.clear()
+            event.callbacks = callbacks
+            pool.append(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or the clock reaches ``until``."""
+        """Run until the queue drains or the clock reaches ``until``.
+
+        The loop is the engine's hottest path and is deliberately inlined
+        (no per-event :meth:`step`/:meth:`peek` calls, and the run-to-
+        drain case pays no per-event horizon check); it processes events
+        in exactly the same order as repeated :meth:`step` calls.
+        """
         if until is not None and until < self._now:
             raise ValueError("cannot run backwards in time")
-        while self._queue:
-            if until is not None and self.peek() > until:
-                self._now = until
-                return
-            self.step()
-        if until is not None:
-            self._now = until
+        queue = self._queue
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        pop = _heappop
+        refcount = getrefcount
+        # Two copies of the dispatch body: the run-to-drain loop (the
+        # common, hottest call) pays no per-event horizon check.  Keep
+        # them line-for-line identical apart from that check.
+        if until is None:
+            while queue:
+                time, _seq, event = pop(queue)
+                # Unconditional store: the heap pops in non-decreasing
+                # time order and nothing in this repository schedules
+                # into the past, so clamping (``max``) would only hide a
+                # real bug.
+                self._now = time
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is None:
+                    continue
+                try:
+                    # The overwhelmingly common case: exactly one waiter
+                    # (a process resume).  Single-element unpack
+                    # dispatches it without the iterator protocol or a
+                    # len() call; any other arity falls to the general
+                    # loop.
+                    [callback] = callbacks
+                except ValueError:
+                    for callback in callbacks:
+                        callback(event)
+                    if not callbacks:
+                        if not event._ok and type(event) is not Process:
+                            raise event._value
+                        continue
+                else:
+                    callback(event)
+                # Inline recycling (same guard as _recycle): refcount 2
+                # = the local binding + getrefcount's argument, so
+                # nothing else can still observe the reused object.
+                cls = event.__class__
+                if cls is Timeout:
+                    if (len(timeout_pool) < _POOL_LIMIT
+                            and refcount(event) == 2
+                            and event.env is self):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        timeout_pool.append(event)
+                elif cls is Event:
+                    if (len(event_pool) < _POOL_LIMIT
+                            and refcount(event) == 2
+                            and event.env is self):
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event_pool.append(event)
+            return
+        while queue:
+            if queue[0][0] > until:
+                break
+            time, _seq, event = pop(queue)
+            self._now = time
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is None:
+                continue
+            try:
+                [callback] = callbacks
+            except ValueError:
+                for callback in callbacks:
+                    callback(event)
+                if not callbacks:
+                    if not event._ok and type(event) is not Process:
+                        raise event._value
+                    continue
+            else:
+                callback(event)
+            cls = event.__class__
+            if cls is Timeout:
+                if (len(timeout_pool) < _POOL_LIMIT
+                        and refcount(event) == 2 and event.env is self):
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    timeout_pool.append(event)
+            elif cls is Event:
+                if (len(event_pool) < _POOL_LIMIT
+                        and refcount(event) == 2 and event.env is self):
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event_pool.append(event)
+        self._now = until

@@ -196,6 +196,7 @@ class TransferRecord:
 
     @property
     def duration(self) -> float:
+        """Transfer time in simulated seconds."""
         return self.end - self.start
 
 

@@ -30,14 +30,17 @@ class Counter:
         self._values: Dict[str, float] = {}
 
     def add(self, name: str, amount: float = 1.0) -> None:
+        """Increase counter ``name`` by ``amount`` (non-negative)."""
         if amount < 0:
             raise ValueError("counters only increase")
         self._values[name] = self._values.get(name, 0.0) + amount
 
     def get(self, name: str) -> float:
+        """Current value of ``name`` (0.0 if never incremented)."""
         return self._values.get(name, 0.0)
 
     def as_dict(self) -> Dict[str, float]:
+        """Copy of all counters as a plain dict."""
         return dict(self._values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -53,11 +56,13 @@ class IntervalAccumulator:
         self._since: Optional[float] = None
 
     def begin(self, now: float) -> None:
+        """Enter a (possibly nested) busy interval at time ``now``."""
         if self._depth == 0:
             self._since = now
         self._depth += 1
 
     def end(self, now: float) -> None:
+        """Leave the innermost busy interval at time ``now``."""
         if self._depth <= 0:
             raise ValueError("end() without matching begin()")
         self._depth -= 1
@@ -68,12 +73,14 @@ class IntervalAccumulator:
             self._since = None
 
     def busy_time(self, now: Optional[float] = None) -> float:
+        """Total busy time, including an open interval up to ``now``."""
         busy = self._busy
         if self._depth > 0 and self._since is not None and now is not None:
             busy += max(0.0, now - self._since)
         return busy
 
     def utilization(self, now: float) -> float:
+        """Fraction of [0, ``now``] spent busy, clamped to 1."""
         if now <= 0:
             return 0.0
         return min(1.0, self.busy_time(now) / now)
@@ -91,17 +98,21 @@ class TimeWeightedStat:
 
     @property
     def value(self) -> float:
+        """Current value of the signal."""
         return self._value
 
     @property
     def max(self) -> float:
+        """Largest value observed so far."""
         return self._max
 
     @property
     def min(self) -> float:
+        """Smallest value observed so far."""
         return self._min
 
     def update(self, now: float, value: float) -> None:
+        """Set the signal to ``value`` at time ``now``."""
         if now < self._last_time:
             raise ValueError("time must not go backwards")
         self._weighted_sum += self._value * (now - self._last_time)
@@ -115,6 +126,7 @@ class TimeWeightedStat:
         self.update(now, self._value + delta)
 
     def mean(self, now: float) -> float:
+        """Time-weighted mean of the signal over [0, ``now``]."""
         total = self._weighted_sum + self._value * (now - self._last_time)
         if now <= 0:
             return self._value
@@ -137,14 +149,17 @@ class TimeSeries:
         self.samples: List[Sample] = []
 
     def record(self, time: float, value: float) -> None:
+        """Append one sample; time must not go backwards."""
         if self.samples and time < self.samples[-1].time:
             raise ValueError("samples must be recorded in time order")
         self.samples.append(Sample(time, value))
 
     def times(self) -> List[float]:
+        """All sample timestamps, in recording order."""
         return [s.time for s in self.samples]
 
     def values(self) -> List[float]:
+        """All sample values, in recording order."""
         return [s.value for s in self.samples]
 
     def value_at(self, time: float) -> float:
@@ -179,11 +194,13 @@ class TimeSeries:
         return len(self.samples)
 
     def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form: name plus [time, value] pairs."""
         return {"name": self.name,
                 "samples": [[s.time, s.value] for s in self.samples]}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TimeSeries":
+        """Rebuild a series from :meth:`to_dict` output."""
         series = cls(str(data.get("name", "")))
         for time, value in data.get("samples", []):  # type: ignore[union-attr]
             series.record(float(time), float(value))
@@ -197,27 +214,32 @@ class SummaryStats:
         self._values: List[float] = sorted(values)
 
     def add(self, value: float) -> None:
+        """Insert one sample, keeping the sample set sorted."""
         idx = bisect_left(self._values, value)
         self._values.insert(idx, value)
 
     @property
     def count(self) -> int:
+        """Number of samples."""
         return len(self._values)
 
     @property
     def min(self) -> float:
+        """Smallest sample (raises with no samples)."""
         if not self._values:
             raise ValueError("no samples")
         return self._values[0]
 
     @property
     def max(self) -> float:
+        """Largest sample (raises with no samples)."""
         if not self._values:
             raise ValueError("no samples")
         return self._values[-1]
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean, clamped into [min, max]."""
         if not self._values:
             raise ValueError("no samples")
         # Clamp: float summation can push the quotient a ULP outside
@@ -228,6 +250,7 @@ class SummaryStats:
 
     @property
     def total(self) -> float:
+        """Sum of all samples."""
         return sum(self._values)
 
     def percentile(self, pct: float) -> float:
@@ -247,6 +270,7 @@ class SummaryStats:
         return [(v, (i + 1) / n) for i, v in enumerate(self._values)]
 
     def as_dict(self) -> Dict[str, float]:
+        """min/mean/max/count as a plain dict."""
         return {"min": self.min, "mean": self.mean, "max": self.max,
                 "count": float(self.count)}
 
@@ -270,6 +294,9 @@ class LatencyReservoir:
         self.capacity = capacity
         self.seed = seed
         self._rng = random.Random(seed)
+        # Bound method cached once: ``observe`` runs once per simulated
+        # request and the attribute chain is measurable at scale.
+        self._randrange = self._rng.randrange
         self._samples: List[float] = []
         self._count = 0
         self._total = 0.0
@@ -277,43 +304,58 @@ class LatencyReservoir:
         self._max = -math.inf
 
     def observe(self, value: float) -> None:
-        """Record one latency sample."""
+        """Record one latency sample.
+
+        This is the serving layer's per-request ingestion hot path; the
+        branchy min/max updates and the cached ``randrange`` keep it to a
+        handful of attribute operations per sample.  The RNG draw
+        sequence is identical to the textbook Algorithm R formulation,
+        so percentile results are unchanged for a given seed.
+        """
         if value < 0:
             raise ValueError("latency samples must be non-negative")
-        self._count += 1
+        count = self._count = self._count + 1
         self._total += value
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-        if len(self._samples) < self.capacity:
-            self._samples.append(value)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        samples = self._samples
+        if len(samples) < self.capacity:
+            samples.append(value)
         else:
-            slot = self._rng.randrange(self._count)
+            slot = self._randrange(count)
             if slot < self.capacity:
-                self._samples[slot] = value
+                samples[slot] = value
 
     # -- exact aggregates ---------------------------------------------------
     @property
     def count(self) -> int:
+        """Exact number of samples observed (not just retained)."""
         return self._count
 
     @property
     def total(self) -> float:
+        """Exact sum of every observed sample."""
         return self._total
 
     @property
     def mean(self) -> float:
+        """Exact mean over every observed sample."""
         if self._count == 0:
             raise ValueError("no samples")
         return self._total / self._count
 
     @property
     def min(self) -> float:
+        """Exact minimum (raises with no samples)."""
         if self._count == 0:
             raise ValueError("no samples")
         return self._min
 
     @property
     def max(self) -> float:
+        """Exact maximum (raises with no samples)."""
         if self._count == 0:
             raise ValueError("no samples")
         return self._max
@@ -360,6 +402,7 @@ class LatencyReservoir:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "LatencyReservoir":
+        """Rebuild a reservoir from :meth:`to_dict` output."""
         reservoir = cls(capacity=int(data["capacity"]),
                         seed=int(data["seed"]))
         reservoir._samples = [float(v) for v in data["samples"]]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Link-check every Markdown document in the repository.
+
+Walks all ``*.md`` files (skipping dot-directories and caches), extracts
+inline links and images (``[text](target)`` / ``![alt](target)``), and
+fails if a relative target does not exist.  External (``http(s)://``,
+``mailto:``) links are not fetched — CI must stay hermetic — and pure
+anchors (``#section``) are ignored, as are plain backtick path
+references (they are prose, not links).
+
+Used by the CI perf-smoke job; run locally with:
+
+    python tools/check_md_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline Markdown links/images: [text](target) — target until ')' or space.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {".git", ".github", "__pycache__", ".pytest_cache",
+             ".repro-cache", "node_modules", ".claude"}
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> list[Path]:
+    """Every tracked-looking .md file under the repo root."""
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Return problem descriptions for one Markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely show shell snippets with fake paths;
+    # strip them before extracting links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        # Drop any #anchor suffix from a file target.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                            f"-> {target}")
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"\n{len(problems)} broken link(s) across "
+              f"{len(files)} Markdown files", file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} Markdown files, no broken relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
