@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
-import json
 import sys
 import tempfile
 from pathlib import Path
@@ -164,7 +163,7 @@ class _StubBackend:
 
 def frontend_dispatches(n_tenants: int, n_requests: int) -> float:
     """Submit/dispatch/complete across a wide front-end; returns requests."""
-    from repro.serve.admission import make_admission
+    from repro.policy import build_policy
     from repro.serve.frontend import ServingFrontend
     from repro.serve.request import Request
     from repro.serve.slo import SLOTracker
@@ -174,7 +173,8 @@ def frontend_dispatches(n_tenants: int, n_requests: int) -> float:
     tenants = [f"tenant-{i:02d}" for i in range(n_tenants)]
     tracker = SLOTracker(tenants)
     frontend = ServingFrontend(env, _StubBackend(env),
-                               make_admission("always"), tracker, tenants)
+                               build_policy("admission", "none"),
+                               tracker, tenants)
 
     def arrivals(env):
         for i in range(n_requests):

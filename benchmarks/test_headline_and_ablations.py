@@ -32,7 +32,6 @@ def test_headline_throughput_and_energy(benchmark):
 
 def test_ablation_gc_victim_policy(benchmark):
     """Ablation: round-robin (paper) vs. greedy victim selection for GC."""
-    from dataclasses import replace
     from repro.core.flashvisor import Flashvisor
     from repro.core.storengine import Storengine
     from repro.flash.backbone import FlashBackbone

@@ -22,7 +22,6 @@ Two modes:
 from __future__ import annotations
 
 import argparse
-import sys
 import tempfile
 
 from repro import PlatformConfig

@@ -29,6 +29,13 @@ from .core import (
 )
 from .baseline import BaselineSystem, run_baseline
 from .hw import HardwareSpec, prototype_spec
+from .policy import (
+    POLICY_DOMAINS,
+    PolicySpec,
+    build_policy,
+    policy_names,
+    register_policy,
+)
 from .platform import (
     ClusterConfig,
     FaultSpec,
@@ -66,6 +73,11 @@ __all__ = [
     "run_baseline",
     "HardwareSpec",
     "prototype_spec",
+    "POLICY_DOMAINS",
+    "PolicySpec",
+    "build_policy",
+    "policy_names",
+    "register_policy",
     "ClusterConfig",
     "FaultSpec",
     "PlatformBuilder",

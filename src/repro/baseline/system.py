@@ -18,11 +18,10 @@ storage stack) produced here also drives the motivation study (Fig. 3d/3e).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..sim.engine import Environment
-from ..sim.stats import SummaryStats, TimeSeries
 from ..hw.power import (
     COMPUTATION,
     DATA_MOVEMENT,

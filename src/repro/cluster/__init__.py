@@ -5,16 +5,18 @@ drives *one* accelerator (or baseline) under open-loop traffic, this layer
 builds N independent devices — each its own
 :class:`~repro.platform.PlatformBuilder` product — on one shared event
 engine, routes arrivals to devices with pluggable placement policies
-(round-robin, least-outstanding, tenant-affinity hashing, power-aware),
-models per-device health (a device can be derated or failed mid-run, its
-backlog rerouted without dropping admitted requests), and rolls the
-per-device reports into a fleet-level
+(round-robin, least-outstanding, tenant-affinity hashing, power-aware,
+join-shortest-queue — all registered in the unified policy registry,
+:mod:`repro.policy`), models per-device health (a device can be derated
+or failed mid-run, its backlog rerouted without dropping admitted
+requests), and rolls the per-device reports into a fleet-level
 :class:`~repro.cluster.report.ClusterReport`.
 """
 
 from .dispatcher import ClusterDispatcher, ShardTracker
 from .health import DeviceHealth, DeviceShard
 from .placement import (
+    JoinShortestQueuePlacement,
     LeastOutstandingPlacement,
     PlacementPolicy,
     PowerAwarePlacement,
@@ -31,6 +33,7 @@ __all__ = [
     "ShardTracker",
     "DeviceHealth",
     "DeviceShard",
+    "JoinShortestQueuePlacement",
     "LeastOutstandingPlacement",
     "PlacementPolicy",
     "PowerAwarePlacement",

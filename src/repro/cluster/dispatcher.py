@@ -16,10 +16,11 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..platform.cluster import ClusterConfig
+from ..policy import build_policy
 from ..serve.request import Request, RequestRecord, RequestStatus
 from ..serve.slo import SLOTracker
 from .health import DeviceHealth, DeviceShard
-from .placement import PlacementPolicy, make_placement
+from .placement import PlacementPolicy
 
 
 class ShardTracker(SLOTracker):
@@ -55,9 +56,9 @@ class ClusterDispatcher:
         self.shards = shards
         self.cluster = cluster
         self.fleet = fleet
-        self.policy = policy if policy is not None else make_placement(
-            cluster.placement, device_count=len(shards),
-            affinity_salt=cluster.affinity_salt)
+        self.policy = policy if policy is not None else build_policy(
+            "placement", cluster.placement_policy_spec(),
+            device_count=len(shards), salt=cluster.affinity_salt)
         self.cluster_rejected = 0    # arrivals with no routable device
         self.reroutes = 0            # backlog records moved off failed devices
         self.health_events: List[Tuple[float, int, str]] = []

@@ -17,14 +17,24 @@ content hash.
   falls forward deterministically when the home device is out.
 * :class:`PowerAwarePlacement` — route to the device with the lowest
   accumulated energy, spreading thermal/energy load across the fleet.
+* :class:`JoinShortestQueuePlacement` — route to the device with the
+  fewest *queued* (not yet dispatched) requests, the textbook JSQ rule.
+
+Every policy registers itself in the unified registry
+(:mod:`repro.policy`) under the ``placement`` domain, so a
+:class:`~repro.platform.ClusterConfig` picks one declaratively via a
+:class:`~repro.policy.PolicySpec`.  :func:`make_placement` is the
+pre-registry shim.
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 from typing import Protocol, Sequence
 
 from ..platform.cluster import PLACEMENT_POLICIES
+from ..policy import build_policy, register_policy
 from ..serve.request import Request
 
 
@@ -60,6 +70,7 @@ class PlacementPolicy:
         raise NotImplementedError
 
 
+@register_policy("placement")
 class RoundRobinPlacement(PlacementPolicy):
     """Cycle over device indices, skipping non-routable devices."""
 
@@ -84,6 +95,7 @@ class RoundRobinPlacement(PlacementPolicy):
         return shards[0]
 
 
+@register_policy("placement")
 class LeastOutstandingPlacement(PlacementPolicy):
     """Lowest backlog per unit of dispatch capacity, ties to the lowest index."""
 
@@ -99,6 +111,7 @@ class LeastOutstandingPlacement(PlacementPolicy):
         return min(shards, key=load)
 
 
+@register_policy("placement")
 class TenantAffinityPlacement(PlacementPolicy):
     """Hash each tenant onto a home device; fall forward when it is out.
 
@@ -131,6 +144,7 @@ class TenantAffinityPlacement(PlacementPolicy):
         return shards[0]
 
 
+@register_policy("placement")
 class PowerAwarePlacement(PlacementPolicy):
     """Lowest accumulated energy first, ties to the lowest index."""
 
@@ -142,16 +156,42 @@ class PowerAwarePlacement(PlacementPolicy):
         return min(shards, key=lambda s: (s.energy_j, s.index))
 
 
+@register_policy("placement")
+class JoinShortestQueuePlacement(PlacementPolicy):
+    """Fewest queued (not yet dispatched) requests, ties to the lowest index.
+
+    The textbook JSQ rule.  Unlike :class:`LeastOutstandingPlacement` it
+    ignores in-flight work and capacity: only the visible queue length
+    counts, so a device with many workers mid-service but an empty queue
+    looks maximally attractive.
+    """
+
+    name = "join_shortest_queue"
+
+    def select(self, request: Request,
+               shards: Sequence[ShardView]) -> ShardView:
+        """The shard with the shortest queue."""
+        return min(shards, key=lambda s: (s.queued, s.index))
+
+
 def make_placement(name: str, device_count: int,
                    affinity_salt: int = 0) -> PlacementPolicy:
-    """Instantiate a placement policy from :data:`PLACEMENT_POLICIES`."""
-    if name == "round_robin":
-        return RoundRobinPlacement(device_count)
-    if name == "least_outstanding":
-        return LeastOutstandingPlacement()
-    if name == "tenant_affinity":
-        return TenantAffinityPlacement(device_count, salt=affinity_salt)
-    if name == "power_aware":
-        return PowerAwarePlacement()
-    raise ValueError(f"unknown placement {name!r}; "
-                     f"choose from {PLACEMENT_POLICIES}")
+    """Deprecated: instantiate a placement policy by name.
+
+    Kept as a shim over the unified policy registry; use
+    ``repro.policy.build_policy("placement", name, device_count=...,
+    salt=...)`` (or a :class:`~repro.policy.PolicySpec`) instead.
+    """
+    warnings.warn(
+        "make_placement() is deprecated; use repro.policy.build_policy("
+        "'placement', name, device_count=..., salt=...) instead",
+        DeprecationWarning, stacklevel=2)
+    try:
+        return build_policy("placement", name, device_count=device_count,
+                            salt=affinity_salt)
+    except ValueError as exc:
+        if "unknown placement policy" in str(exc):
+            # Preserve the pre-registry message shape for existing callers.
+            raise ValueError(f"unknown placement {name!r}; "
+                             f"choose from {PLACEMENT_POLICIES}") from None
+        raise

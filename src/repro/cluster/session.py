@@ -58,7 +58,8 @@ class ClusterSession:
                 seed=scenario.seed + 1000 * (index + 1))
             frontend = ServingFrontend(env, backend,
                                        scenario.make_admission(),
-                                       tracker, tenants)
+                                       tracker, tenants,
+                                       dispatch=scenario.make_dispatch())
             shards.append(DeviceShard(index, config, backend, frontend,
                                       tracker))
         return shards

@@ -33,11 +33,12 @@ from ..hw.power import (
 from ..hw.spec import HardwareSpec
 from ..platform.builder import HardwareSubstrate, resolve_substrate
 from ..platform.config import FLASHABACUS_SCHEDULERS, PlatformConfig
+from ..policy import build_policy
 from .execution_chain import MicroblockNode, ScreenNode
 from .flashvisor import Flashvisor
 from .kernel import Kernel
 from .offload import OffloadController, PowerSleepController
-from .schedulers import Scheduler, WorkItem, make_scheduler
+from .schedulers import Scheduler, WorkItem
 from .storengine import Storengine
 
 
@@ -180,7 +181,6 @@ class FlashAbacusAccelerator:
             track_power_series=track_power_series,
             system=scheduler, config=config, substrate=substrate)
         config = substrate.config
-        scheduler_name = config.system
         self.config = config
         self.substrate = substrate
         self.env = substrate.env
@@ -206,8 +206,9 @@ class FlashAbacusAccelerator:
         self.address_space = FlashAddressSpace(
             self.backbone.geometry.capacity_bytes,
             self.backbone.geometry.page_group_bytes)
-        self.scheduler: Scheduler = make_scheduler(
-            scheduler_name, len(self.cluster.workers))
+        self.scheduler: Scheduler = build_policy(
+            "scheduler", config.scheduler_spec(),
+            num_workers=len(self.cluster.workers))
         self._kernel_regions: Dict[int, Dict[str, int]] = {}
         self._wake: Event = self.env.event()
         self.screens_executed = 0

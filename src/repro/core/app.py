@@ -11,7 +11,7 @@ into concrete :class:`~repro.core.kernel.Kernel` instances (one per
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from .kernel import Kernel
 

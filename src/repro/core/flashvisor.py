@@ -21,8 +21,8 @@ translation cost charged to the Flashvisor LWP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..sim.engine import Environment
 from ..hw.interconnect import MessageQueue
@@ -32,7 +32,7 @@ from ..hw.power import STORAGE_ACCESS, EnergyAccountant
 from ..flash.backbone import FlashBackbone
 from ..flash.ftl import BlockAllocator, OutOfSpaceError, PageGroupMappingTable
 from .kernel import Kernel
-from .range_lock import READ, WRITE, RangeLock, RangeLockConflict
+from .range_lock import READ, WRITE, RangeLock
 
 
 @dataclass

@@ -13,13 +13,13 @@ in :mod:`repro.core.schedulers` do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..sim.engine import Environment
 from ..hw.memory import DDR3L
 from ..hw.pcie import PCIeLink
-from ..hw.power import DATA_MOVEMENT, EnergyAccountant
+from ..hw.power import EnergyAccountant
 from .kernel import Kernel
 
 

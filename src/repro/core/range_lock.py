@@ -14,7 +14,7 @@ O(log n).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 READ = "read"
@@ -121,7 +121,6 @@ class RangeLock:
 
     def conflicts_with(self, start: int, end: int, mode: str) -> List[LockedRange]:
         """All locked ranges that would block a [start, end] ``mode`` request."""
-        probe = LockedRange(start=start, end=end, mode=mode, owner=-1)
         return [node.range for node in self._in_order(self._root)
                 if node.range.overlaps(start, end)
                 and not (node.range.mode == READ and mode == READ)]

@@ -14,10 +14,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from ...policy import register_policy
 from ..kernel import Kernel
 from .base import Scheduler, WorkItem
 
 
+@register_policy("scheduler")
 class DynamicInterKernelScheduler(Scheduler):
     """``InterDy`` — first-free-worker gets the next queued kernel."""
 

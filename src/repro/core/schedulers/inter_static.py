@@ -13,10 +13,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional
 
+from ...policy import register_policy
 from ..kernel import Kernel
 from .base import Scheduler, WorkItem
 
 
+@register_policy("scheduler")
 class StaticInterKernelScheduler(Scheduler):
     """``InterSt`` — kernels pinned to LWPs by application number."""
 

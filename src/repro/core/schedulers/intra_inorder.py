@@ -14,11 +14,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from ...policy import register_policy
 from ..execution_chain import KernelChain
 from ..kernel import Kernel
 from .base import Scheduler, WorkItem
 
 
+@register_policy("scheduler")
 class InOrderIntraKernelScheduler(Scheduler):
     """``IntraIo`` — screens of the head kernel's current microblock only."""
 

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ...policy import register_policy
 from .base import Scheduler, WorkItem
 
 
+@register_policy("scheduler")
 class OutOfOrderIntraKernelScheduler(Scheduler):
     """``IntraO3`` — any ready screen from any kernel, oldest kernel first."""
 

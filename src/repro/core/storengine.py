@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim.engine import Environment, Interrupt
+from ..sim.engine import Environment
 from ..hw.lwp import LWP
 from ..hw.power import STORAGE_ACCESS, EnergyAccountant
 from ..flash.backbone import FlashBackbone

@@ -16,8 +16,8 @@ breakdowns run the Table 2 workloads through the full SIMD baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
 from ..hw.spec import HardwareSpec, prototype_spec
 from ..workloads.characteristics import MOTIVATION_ORDER, POLYBENCH

@@ -125,6 +125,50 @@ def format_scaling_sweep(points: Sequence, slo_s: float = None) -> str:
         + format_table(headers, rows)
 
 
+def format_policy_grid(points: Sequence, slo_s: float = None) -> str:
+    """Render a cross-layer policy grid as one table.
+
+    One row per (scheduler, admission, dispatch, placement) combination:
+    goodput, admitted/rejected counts, the latency tail, and summed
+    energy.  With ``slo_s`` a per-row SLO verdict column is added and the
+    best SLO-compliant combination is called out underneath (falling back
+    to a plain best-goodput line when nothing is compliant).
+    """
+    from .policy_grid import best_by_goodput
+    headers = ["scheduler", "admission", "dispatch", "placement",
+               "goodput_rps", "admitted", "rejected", "slo_viol",
+               "p50_ms", "p99_ms", "energy_j"]
+    if slo_s is not None:
+        headers.append("p99<=SLO")
+    rows = []
+    for p in points:
+        row = [
+            p.describe("scheduler"), p.describe("admission"),
+            p.describe("dispatch"), p.describe("placement"),
+            p.goodput_rps, p.admitted, p.rejected, p.slo_violations,
+            -1.0 if p.p50_s is None else p.p50_s * 1e3,
+            -1.0 if p.p99_s is None else p.p99_s * 1e3,
+            p.energy_j,
+        ]
+        if slo_s is not None:
+            row.append("yes" if p.p99_s is not None
+                       and p.p99_s <= slo_s else "no")
+        rows.append(row)
+    text = ("Policy grid (scheduler x admission x dispatch x placement)\n"
+            + format_table(headers, rows))
+    best = best_by_goodput(points, slo_s=slo_s)
+    if best is not None:
+        verdict = ("best SLO-compliant combination" if slo_s is not None
+                   else "best goodput")
+        text += (f"\n{verdict}: {best.label} "
+                 f"at {best.goodput_rps:.1f} rps")
+    elif points:
+        fallback = best_by_goodput(points)
+        text += (f"\nno combination meets the SLO; highest goodput: "
+                 f"{fallback.label} at {fallback.goodput_rps:.1f} rps")
+    return text
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, ignoring non-positive entries."""
     filtered = [v for v in values if v > 0]

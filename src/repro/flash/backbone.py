@@ -10,14 +10,14 @@ All timing comes from the per-channel models; energy is charged to the
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..sim.engine import Environment
 from ..sim.resources import Resource
 from ..hw.power import EnergyAccountant, PowerMonitor, STORAGE_ACCESS
 from ..hw.spec import FlashSpec
 from .channel import FlashChannel
-from .controller import FlashController, FlashTransaction
+from .controller import FlashController
 from .geometry import FlashGeometry, PhysicalPageAddress
 
 

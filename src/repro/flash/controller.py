@@ -9,7 +9,7 @@ channel, and posts completions to the outbound queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..sim.engine import Environment, Event

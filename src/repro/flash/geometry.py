@@ -120,7 +120,6 @@ class FlashGeometry:
         """
         if not 0 <= physical_group < self.page_groups_total:
             raise ValueError(f"physical group {physical_group} out of range")
-        groups_per_die_row = self.pages_per_block
         # Which "die row" (package, die, block, page) this group occupies.
         row = physical_group
         page_in_block = row % self.pages_per_block

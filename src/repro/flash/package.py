@@ -8,7 +8,6 @@ NV-DDR2 bandwidth despite the 81 µs sense time.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..sim.engine import Environment
 from ..sim.resources import Resource

@@ -9,7 +9,7 @@ kernel-completion notifications and Flashvisor mapping requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..sim.engine import Environment

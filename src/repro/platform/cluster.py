@@ -15,12 +15,17 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from ..policy import PolicySpec, policy_names
 from .config import PlatformConfig
 
-#: The placement policies the cluster dispatcher knows how to build
-#: (implemented in :mod:`repro.cluster.placement`).
+#: The original placement policies (implemented and registered in
+#: :mod:`repro.cluster.placement`).  Kept as the static fast path for
+#: validation — checking it first avoids importing the registry's
+#: built-ins for the common names; the authoritative set is the
+#: registry's ``placement`` domain, which also carries additions like
+#: ``join_shortest_queue``.
 PLACEMENT_POLICIES: Tuple[str, ...] = (
     "round_robin", "least_outstanding", "tenant_affinity", "power_aware")
 
@@ -86,6 +91,12 @@ class ClusterConfig:
     faults:
         Health timeline applied during the run, time-ordered by the
         session.
+    placement_spec:
+        Optional :class:`~repro.policy.PolicySpec` parameterizing the
+        placement policy (``None`` = the parameterless policy named by
+        ``placement``, which serializes and hashes exactly as before the
+        policy layer existed).  When set, its name *is* the placement:
+        the ``placement`` field is synced to it.
     """
 
     devices: Tuple[PlatformConfig, ...]
@@ -93,13 +104,22 @@ class ClusterConfig:
     affinity_salt: int = 0
     degraded_capacity_factor: float = 0.5
     faults: Tuple[FaultSpec, ...] = ()
+    placement_spec: Optional[PolicySpec] = None
 
     def __post_init__(self) -> None:
         if not self.devices:
             raise ValueError("a cluster needs at least one device")
-        if self.placement not in PLACEMENT_POLICIES:
-            raise ValueError(f"unknown placement {self.placement!r}; "
-                             f"choose from {PLACEMENT_POLICIES}")
+        if self.placement_spec is not None:
+            spec = PolicySpec.coerce(self.placement_spec)
+            object.__setattr__(self, "placement_spec", spec)
+            # The spec names the policy; the placement field mirrors it
+            # so reports and legacy readers agree.
+            object.__setattr__(self, "placement", spec.name)
+        if self.placement not in PLACEMENT_POLICIES \
+                and self.placement not in policy_names("placement"):
+            raise ValueError(
+                f"unknown placement {self.placement!r}; choose from "
+                f"{policy_names('placement')}")
         if not 0.0 < self.degraded_capacity_factor <= 1.0:
             raise ValueError(
                 "degraded_capacity_factor must be in (0, 1]")
@@ -137,7 +157,28 @@ class ClusterConfig:
         return replace(self, devices=devices, faults=faults)
 
     def with_overrides(self, **kwargs: Any) -> "ClusterConfig":
+        """Copy of this cluster with ``kwargs`` fields replaced.
+
+        Overriding ``placement`` by name clears a ``placement_spec``
+        naming a different policy (its params belong to the old one);
+        without clearing, the sync in ``__post_init__`` would override
+        the requested placement.
+        """
+        if "placement" in kwargs and "placement_spec" not in kwargs \
+                and self.placement_spec is not None \
+                and self.placement_spec.name != kwargs["placement"]:
+            kwargs["placement_spec"] = None
         return replace(self, **kwargs)
+
+    def placement_policy_spec(self) -> PolicySpec:
+        """The policy spec the cluster dispatcher routes with.
+
+        ``placement_spec`` when set, else the parameterless spec named by
+        ``placement`` — a single resolution path for the dispatcher.
+        """
+        if self.placement_spec is not None:
+            return self.placement_spec
+        return PolicySpec(self.placement)
 
     # ------------------------------------------------------------------ #
     # Derived properties                                                   #
@@ -160,16 +201,22 @@ class ClusterConfig:
     # Serialization                                                        #
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "devices": [config.to_dict() for config in self.devices],
             "placement": self.placement,
             "affinity_salt": self.affinity_salt,
             "degraded_capacity_factor": self.degraded_capacity_factor,
             "faults": [fault.to_list() for fault in self.faults],
         }
+        # Emitted only when set, so pre-policy-layer configs keep their
+        # serialized form (and cache keys) byte-identical.
+        if self.placement_spec is not None:
+            data["placement_spec"] = self.placement_spec.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ClusterConfig":
+        spec = data.get("placement_spec")
         return cls(
             devices=tuple(PlatformConfig.from_dict(d)
                           for d in data.get("devices", [])),
@@ -179,6 +226,8 @@ class ClusterConfig:
                 data.get("degraded_capacity_factor", 0.5)),
             faults=tuple(FaultSpec.from_list(f)
                          for f in data.get("faults", [])),
+            placement_spec=(PolicySpec.from_dict(spec)
+                            if spec is not None else None),
         )
 
     def config_hash(self) -> str:

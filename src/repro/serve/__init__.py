@@ -14,7 +14,14 @@ from .admission import (
     AlwaysAdmit,
     DeadlineAwareAdmission,
     QueueDepthAdmission,
+    TokenBucketAdmission,
     make_admission,
+)
+from .dispatch import (
+    DispatchPolicy,
+    RoundRobinDispatch,
+    StrictPriorityDispatch,
+    WeightedFairDispatch,
 )
 from .arrivals import (
     DEFAULT_WORKLOAD_POOL,
@@ -44,7 +51,12 @@ __all__ = [
     "AlwaysAdmit",
     "DeadlineAwareAdmission",
     "QueueDepthAdmission",
+    "TokenBucketAdmission",
     "make_admission",
+    "DispatchPolicy",
+    "RoundRobinDispatch",
+    "StrictPriorityDispatch",
+    "WeightedFairDispatch",
     "DEFAULT_WORKLOAD_POOL",
     "ArrivalProcess",
     "DiurnalArrivals",

@@ -11,12 +11,21 @@ whether a request may enter its tenant queue:
 * :class:`DeadlineAwareAdmission` — estimate the queueing delay from the
   current backlog and an EWMA of observed service times, and reject
   requests that would already miss their SLO at dispatch time.
+* :class:`TokenBucketAdmission` — classic rate limiter: admit while the
+  bucket has tokens, refilled at a fixed rate up to a burst bound.
+
+Every policy registers itself in the unified registry
+(:mod:`repro.policy`) under the ``admission`` domain, so a scenario picks
+one declaratively via a :class:`~repro.policy.PolicySpec` (name +
+params).  :func:`make_admission` is the pre-registry shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Protocol
 
+from ..policy import build_policy, register_policy
 from .request import Request
 
 
@@ -45,12 +54,14 @@ class AdmissionController:
         """Completion feedback (used by estimating policies)."""
 
 
+@register_policy("admission")
 class AlwaysAdmit(AdmissionController):
     """The pure open-loop front-end: queues are unbounded."""
 
     name = "none"
 
 
+@register_policy("admission")
 class QueueDepthAdmission(AdmissionController):
     """Bound per-tenant queue depth (and optionally the total backlog)."""
 
@@ -75,6 +86,7 @@ class QueueDepthAdmission(AdmissionController):
         return True
 
 
+@register_policy("admission")
 class DeadlineAwareAdmission(AdmissionController):
     """Reject requests whose estimated completion already misses the SLO.
 
@@ -83,6 +95,15 @@ class DeadlineAwareAdmission(AdmissionController):
     requests, each taking the EWMA service time; the request itself then
     needs one more service time.  Requests without an SLO are admitted
     (subject to the optional backstop depth bound).
+
+    Until the EWMA has a sample the estimator is blind, so the cold-start
+    window is bounded instead of open: seed the estimate via
+    ``initial_service_s`` (e.g. the platform's nominal service time) to
+    make the deadline test live from the first arrival, or leave it unset
+    and the policy bootstraps from the first completion while admitting
+    at most ``cold_start_waves`` dispatch waves of backlog — an open-loop
+    burst before the first completion can no longer flood the queue
+    unchecked.
     """
 
     name = "deadline"
@@ -90,15 +111,19 @@ class DeadlineAwareAdmission(AdmissionController):
     def __init__(self, ewma_alpha: float = 0.2,
                  initial_service_s: float = 0.0,
                  slack_factor: float = 1.0,
-                 backstop_depth: Optional[int] = None):
+                 backstop_depth: Optional[int] = None,
+                 cold_start_waves: float = 2.0):
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
         if slack_factor <= 0:
             raise ValueError("slack_factor must be positive")
+        if cold_start_waves <= 0:
+            raise ValueError("cold_start_waves must be positive")
         self.ewma_alpha = ewma_alpha
         self.service_estimate_s = initial_service_s
         self.slack_factor = slack_factor
         self.backstop_depth = backstop_depth
+        self.cold_start_waves = cold_start_waves
 
     def observe_service_time(self, service_s: float) -> None:
         """Fold one observed service time into the EWMA estimate."""
@@ -120,19 +145,67 @@ class DeadlineAwareAdmission(AdmissionController):
         if self.backstop_depth is not None \
                 and frontend.total_queued >= self.backstop_depth:
             return False
-        if request.slo_s is None or self.service_estimate_s <= 0:
+        if request.slo_s is None:
             return True
+        if self.service_estimate_s <= 0:
+            # Cold start (no estimate yet): bound the backlog to a few
+            # dispatch waves so samples can be gathered without admitting
+            # an unbounded, unestimated burst.
+            backlog = frontend.total_queued + frontend.in_flight
+            capacity = max(1, frontend.dispatch_capacity)
+            return backlog < capacity * self.cold_start_waves
         return self.estimated_completion_s(frontend) \
             <= request.slo_s * self.slack_factor
 
 
+@register_policy("admission")
+class TokenBucketAdmission(AdmissionController):
+    """Classic token-bucket rate limiter over the arrival timeline.
+
+    The bucket holds up to ``burst`` tokens and refills at ``rate_rps``
+    tokens per second of *simulated* time (measured on the arrival
+    timestamps, so the policy is deterministic and needs no clock
+    access).  Each admitted request spends one token; arrivals finding an
+    empty bucket are rejected.  Unlike the backlog-driven policies this
+    shapes the *input* rate regardless of how the backend is doing.
+    """
+
+    name = "token_bucket"
+
+    def __init__(self, rate_rps: float = 100.0, burst: float = 10.0):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_rps = rate_rps
+        self.burst = burst
+        self.tokens = float(burst)
+        self._last_arrival_s: Optional[float] = None
+
+    def admit(self, request: Request, frontend: FrontendView) -> bool:
+        """Spend one token if available, refilling from elapsed time."""
+        now = request.arrival_s
+        if self._last_arrival_s is not None:
+            elapsed = max(0.0, now - self._last_arrival_s)
+            self.tokens = min(float(self.burst),
+                              self.tokens + elapsed * self.rate_rps)
+        self._last_arrival_s = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
 def make_admission(policy: str, **kwargs) -> AdmissionController:
-    """Instantiate an admission policy by name (none/queue_depth/deadline)."""
-    if policy in ("none", "always"):
-        return AlwaysAdmit()
-    if policy == "queue_depth":
-        return QueueDepthAdmission(**kwargs)
-    if policy == "deadline":
-        return DeadlineAwareAdmission(**kwargs)
-    raise ValueError(f"unknown admission policy {policy!r}; "
-                     f"choose none, queue_depth or deadline")
+    """Deprecated: instantiate an admission policy by name.
+
+    Kept as a shim over the unified policy registry; use
+    ``repro.policy.build_policy("admission", name, ...)`` (or a
+    :class:`~repro.policy.PolicySpec`) instead.  ``"always"`` remains an
+    accepted alias of ``"none"``.
+    """
+    warnings.warn(
+        "make_admission() is deprecated; use repro.policy.build_policy("
+        "'admission', name, ...) instead",
+        DeprecationWarning, stacklevel=2)
+    return build_policy("admission", {"name": policy, "params": kwargs})

@@ -1,0 +1,168 @@
+"""Pluggable tenant-queue dispatch order for the serving front-end.
+
+When backend capacity frees up, the front-end's dispatch loop must pick
+*which tenant's* queue to serve next.  That choice used to be a
+round-robin loop hardcoded into :class:`~repro.serve.frontend
+.ServingFrontend`; it is now a policy domain of the unified registry
+(:mod:`repro.policy`), selectable per scenario like admission or
+placement:
+
+* :class:`RoundRobinDispatch` — cycle over tenants in declaration order
+  (the pre-registry behavior, and still the default).
+* :class:`WeightedFairDispatch` — weighted fair queueing: serve the
+  non-empty tenant with the smallest served/weight ratio, so dispatch
+  share tracks the configured weights whenever demand allows.
+* :class:`StrictPriorityDispatch` — always serve the highest-priority
+  non-empty queue; lower priorities only run when higher ones are empty.
+
+Every policy is deterministic — the same queue contents always produce
+the same pick — which is what keeps serving runs cacheable and the
+golden/determinism suites meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Mapping, Optional, Sequence
+
+from ..policy import register_policy
+from .request import RequestRecord
+
+
+class DispatchPolicy:
+    """Base policy: pick the next tenant queue the front-end serves.
+
+    The front-end calls :meth:`bind` once with the tenant declaration
+    order, then :meth:`select` each time it needs the next request;
+    ``queues`` maps every tenant to its FIFO deque (read-only to the
+    policy).  :meth:`select` returns the chosen tenant name — accounting
+    for the pick (cursors, served counters) happens inside it — or
+    ``None`` when every queue is empty.
+    """
+
+    name = "dispatch"
+
+    def bind(self, tenants: Sequence[str]) -> None:
+        """Learn the tenant set (called once, before any select)."""
+
+    def select(self, queues: Mapping[str, Deque[RequestRecord]]
+               ) -> Optional[str]:
+        """The tenant whose queue head should be dispatched next."""
+        raise NotImplementedError
+
+
+@register_policy("dispatch")
+class RoundRobinDispatch(DispatchPolicy):
+    """Cycle over tenants in declaration order, skipping empty queues.
+
+    Byte-identical to the dispatch loop that used to live inside the
+    front-end: one cursor advances past each considered tenant, so a
+    bursty tenant cannot starve the others at the dispatch point.
+    """
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._order: Sequence[str] = ()
+        self._cursor = 0
+
+    def bind(self, tenants: Sequence[str]) -> None:
+        self._order = list(tenants)
+        self._cursor = 0
+
+    def select(self, queues: Mapping[str, Deque[RequestRecord]]
+               ) -> Optional[str]:
+        order = self._order
+        count = len(order)
+        nxt = self._cursor
+        for _ in range(count):
+            tenant = order[nxt]
+            nxt += 1
+            if nxt == count:
+                nxt = 0
+            if queues[tenant]:
+                self._cursor = nxt
+                return tenant
+        self._cursor = nxt
+        return None
+
+
+@register_policy("dispatch")
+class WeightedFairDispatch(DispatchPolicy):
+    """Serve the non-empty tenant with the smallest served/weight ratio.
+
+    ``weights`` maps tenant name to a positive dispatch share; tenants
+    not listed default to 1.0 (the scenario wiring passes its
+    ``TenantSpec`` weights as defaults, so traffic share and dispatch
+    share agree unless overridden).  Work-conserving: weights only bite
+    while several tenants have queued demand.  Ties break to the earlier
+    declared tenant, keeping the policy deterministic.
+    """
+
+    name = "weighted_fair"
+
+    def __init__(self, weights: Optional[Mapping[str, float]] = None):
+        self._configured = dict(weights) if weights else {}
+        for tenant, weight in self._configured.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"dispatch weight for {tenant!r} must be positive")
+        self._order: Sequence[str] = ()
+        self._weights: Mapping[str, float] = {}
+        self._served: dict = {}
+
+    def bind(self, tenants: Sequence[str]) -> None:
+        self._order = list(tenants)
+        self._weights = {t: float(self._configured.get(t, 1.0))
+                         for t in tenants}
+        self._served = {t: 0 for t in tenants}
+
+    def select(self, queues: Mapping[str, Deque[RequestRecord]]
+               ) -> Optional[str]:
+        best: Optional[str] = None
+        best_cost = 0.0
+        for tenant in self._order:
+            if not queues[tenant]:
+                continue
+            cost = (self._served[tenant] + 1) / self._weights[tenant]
+            if best is None or cost < best_cost:
+                best, best_cost = tenant, cost
+        if best is not None:
+            self._served[best] += 1
+        return best
+
+
+@register_policy("dispatch")
+class StrictPriorityDispatch(DispatchPolicy):
+    """Always serve the highest-priority tenant that has queued work.
+
+    ``priority`` maps tenant name to a rank (lower rank dispatches
+    first); tenants not listed rank behind every listed one, ordered
+    among themselves by declaration order — with no ``priority`` at all,
+    earlier declared tenants strictly preempt later ones at the dispatch
+    point.  Starvation of low-priority tenants under sustained
+    high-priority load is the intended behavior (that is what "strict"
+    buys).
+    """
+
+    name = "strict_priority"
+
+    def __init__(self, priority: Optional[Mapping[str, int]] = None):
+        self._configured = dict(priority) if priority else {}
+        self._order: Sequence[str] = ()
+
+    def bind(self, tenants: Sequence[str]) -> None:
+        # Precompute the service order: configured rank first (unlisted
+        # tenants rank last), then declaration index as the tie-break.
+        unranked = float("inf")
+        self._order = [
+            tenant for _, tenant in sorted(
+                enumerate(tenants),
+                key=lambda pair: (self._configured.get(pair[1], unranked),
+                                  pair[0]))]
+
+    def select(self, queues: Mapping[str, Deque[RequestRecord]]
+               ) -> Optional[str]:
+        for tenant in self._order:
+            if queues[tenant]:
+                return tenant
+        return None

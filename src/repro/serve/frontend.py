@@ -6,9 +6,10 @@ admission controller; admitted requests wait in their tenant's FIFO queue
 until the dispatcher — a simulation process woken by arrivals and
 completions — hands them to the backend, keeping at most
 ``backend.capacity`` requests in flight (one per worker LWP on the
-accelerator, one total on the strictly serial SIMD baseline).  Tenant
-queues are served round-robin so one bursty tenant cannot starve the
-others at the dispatch point.
+accelerator, one total on the strictly serial SIMD baseline).  The order
+tenant queues are served in is a pluggable
+:class:`~repro.serve.dispatch.DispatchPolicy` (round-robin by default, so
+one bursty tenant cannot starve the others at the dispatch point).
 """
 
 from __future__ import annotations
@@ -19,27 +20,31 @@ from typing import Deque, Dict, List, Optional, Sequence
 from ..sim.engine import Environment, Event
 from .admission import AdmissionController
 from .backends import ServingBackend
+from .dispatch import DispatchPolicy, RoundRobinDispatch
 from .request import Request, RequestRecord, RequestStatus
 from .slo import SLOTracker
 
 
 class ServingFrontend:
-    """Per-tenant queues + admission + round-robin dispatcher."""
+    """Per-tenant queues + admission + policy-ordered dispatcher."""
 
     def __init__(self, env: Environment, backend: ServingBackend,
                  admission: AdmissionController, tracker: SLOTracker,
-                 tenants: Sequence[str]):
+                 tenants: Sequence[str],
+                 dispatch: Optional[DispatchPolicy] = None):
         if not tenants:
             raise ValueError("at least one tenant is required")
         self.env = env
         self.backend = backend
         self.admission = admission
         self.tracker = tracker
+        self.dispatch_policy = dispatch if dispatch is not None \
+            else RoundRobinDispatch()
+        self.dispatch_policy.bind(list(tenants))
         self.queues: Dict[str, Deque[RequestRecord]] = {
             tenant: deque() for tenant in tenants}
         self.records: List[RequestRecord] = []
         self._order = list(tenants)
-        self._next_tenant = 0
         self._open = True
         # Total queued requests, maintained incrementally: the dispatch
         # loop re-reads it after every dispatch and completion, and
@@ -147,22 +152,12 @@ class ServingFrontend:
             wake.succeed()
 
     def _pop_next(self) -> RequestRecord:
-        """Round-robin over non-empty tenant queues."""
-        order = self._order
-        queues = self.queues
-        count = len(order)
-        nxt = self._next_tenant
-        for _ in range(count):
-            queue = queues[order[nxt]]
-            nxt += 1
-            if nxt == count:
-                nxt = 0
-            if queue:
-                self._next_tenant = nxt
-                self._queued_total -= 1
-                return queue.popleft()
-        self._next_tenant = nxt
-        raise RuntimeError("no queued request to pop")
+        """Pop the head of the queue the dispatch policy selects."""
+        tenant = self.dispatch_policy.select(self.queues)
+        if tenant is None:
+            raise RuntimeError("no queued request to pop")
+        self._queued_total -= 1
+        return self.queues[tenant].popleft()
 
     def _dispatch_loop(self):
         backend = self.backend

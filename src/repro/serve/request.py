@@ -9,7 +9,7 @@ timestamps the SLO accounting is computed from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

@@ -23,12 +23,12 @@ from ..baseline.system import BaselineSystem
 from ..core.accelerator import FlashAbacusAccelerator
 from ..core.kernel import Kernel
 from ..platform.config import PlatformConfig
+from ..policy import PolicySpec, build_policy, policy_class
 from ..workloads.characteristics import lookup
 from ..workloads.polybench import (
     DEFAULT_SCREENS_PER_MICROBLOCK,
     build_workload_kernel,
 )
-from .admission import make_admission
 from .arrivals import (
     DEFAULT_WORKLOAD_POOL,
     ArrivalProcess,
@@ -191,6 +191,14 @@ class ServingScenario:
     ``offered_rps`` is the base rate of the arrival process (the peak rate
     for ``diurnal``; ignored for ``trace``).  All fields are hashable
     plain data so scenarios can key the experiment registry/cache.
+
+    Admission and dispatch are policy domains of the unified registry
+    (:mod:`repro.policy`).  The legacy string knobs (``admission`` +
+    ``max_queue_depth``) still describe the common cases and keep their
+    serialized form; ``admission_spec`` / ``dispatch_spec`` select any
+    registered policy with arbitrary params (a set spec wins over the
+    string knobs, and both fields are omitted from :meth:`to_dict` when
+    unset so pre-policy-layer scenarios keep their cache keys).
     """
 
     process: str = "poisson"
@@ -212,6 +220,9 @@ class ServingScenario:
     trace_events: Tuple[Tuple[float, str, str], ...] = ()
     # SLO accounting
     reservoir_capacity: int = 4096
+    # Policy-layer selections (None = the legacy knobs / round-robin)
+    admission_spec: Optional[PolicySpec] = None
+    dispatch_spec: Optional[PolicySpec] = None
 
     def __post_init__(self) -> None:
         if self.process not in ARRIVAL_PROCESSES:
@@ -225,6 +236,21 @@ class ServingScenario:
             raise ValueError("at least one tenant is required")
         if self.process == "trace" and not self.trace_events:
             raise ValueError("trace scenarios need trace_events")
+        # Coerce and eagerly validate the policy selections (the legacy
+        # string knob included): a mistyped name should fail at
+        # construction, not minutes into a sweep.
+        policy_class("admission", self.admission)
+        if self.admission_spec is not None:
+            spec = PolicySpec.coerce(self.admission_spec)
+            object.__setattr__(self, "admission_spec", spec)
+            policy_class("admission", spec.name)
+            # The spec names the policy; the legacy string field mirrors
+            # it so serialized scenarios report the policy actually run.
+            object.__setattr__(self, "admission", spec.name)
+        if self.dispatch_spec is not None:
+            spec = PolicySpec.coerce(self.dispatch_spec)
+            object.__setattr__(self, "dispatch_spec", spec)
+            policy_class("dispatch", spec.name)
 
     @property
     def label(self) -> str:
@@ -253,19 +279,44 @@ class ServingScenario:
         return TraceArrivals(list(self.trace_events), self.tenants,
                              self.seed)
 
+    def effective_admission_spec(self) -> PolicySpec:
+        """The admission selection as one policy spec.
+
+        ``admission_spec`` when set; otherwise the legacy string knobs
+        folded into an equivalent spec (``queue_depth`` carries
+        ``max_queue_depth`` as its depth bound, exactly as before).
+        """
+        if self.admission_spec is not None:
+            return self.admission_spec
+        if self.admission == "queue_depth":
+            return PolicySpec("queue_depth",
+                              {"max_tenant_depth": self.max_queue_depth})
+        return PolicySpec(self.admission)
+
     def make_admission(self):
         """Instantiate the scenario's admission controller."""
-        if self.admission == "queue_depth":
-            return make_admission("queue_depth",
-                                  max_tenant_depth=self.max_queue_depth)
-        return make_admission(self.admission)
+        return build_policy("admission", self.effective_admission_spec())
+
+    def make_dispatch(self):
+        """Instantiate the scenario's tenant-dispatch policy.
+
+        ``dispatch_spec`` when set, else round-robin (the pre-policy-layer
+        behavior).  The scenario's tenant weights are offered as context
+        defaults, so ``weighted_fair`` without an explicit ``weights``
+        param follows the traffic shares of the tenant specs.
+        """
+        spec = self.dispatch_spec if self.dispatch_spec is not None \
+            else PolicySpec("round_robin")
+        return build_policy(
+            "dispatch", spec,
+            weights={t.name: t.weight for t in self.tenants})
 
     # ------------------------------------------------------------------ #
     # Serialization                                                       #
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict (JSON-safe) form; keys the experiment cache."""
-        return {
+        data: Dict[str, object] = {
             "process": self.process,
             "offered_rps": self.offered_rps,
             "duration_s": self.duration_s,
@@ -282,6 +333,20 @@ class ServingScenario:
             "trace_events": [list(e) for e in self.trace_events],
             "reservoir_capacity": self.reservoir_capacity,
         }
+        # Emitted only when set, so pre-policy-layer scenarios keep their
+        # serialized form (and experiment cache keys) byte-identical.
+        if self.admission_spec is not None:
+            data["admission_spec"] = self.admission_spec.to_dict()
+        if self.dispatch_spec is not None:
+            data["dispatch_spec"] = self.dispatch_spec.to_dict()
+        if self.effective_admission_spec().name == "deadline":
+            # The deadline policy's cold-start window changed behavior in
+            # PR 5 (bounded instead of admit-all before the first EWMA
+            # sample); re-key exactly these scenarios so a persisted
+            # result cache cannot silently serve pre-fix results, while
+            # every other scenario keeps its pre-policy-layer key.
+            data["admission_behavior_rev"] = 2
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ServingScenario":
@@ -307,11 +372,35 @@ class ServingScenario:
             diurnal_floor=float(data.get("diurnal_floor", 0.2)),
             trace_events=trace,
             reservoir_capacity=int(data.get("reservoir_capacity", 4096)),
+            admission_spec=(PolicySpec.from_dict(data["admission_spec"])
+                            if data.get("admission_spec") is not None
+                            else None),
+            dispatch_spec=(PolicySpec.from_dict(data["dispatch_spec"])
+                           if data.get("dispatch_spec") is not None
+                           else None),
         )
 
     def with_overrides(self, **kwargs) -> "ServingScenario":
-        """Copy of the scenario with ``kwargs`` fields replaced."""
+        """Copy of the scenario with ``kwargs`` fields replaced.
+
+        Overriding ``admission`` by name clears an ``admission_spec``
+        naming a different policy (its params belong to the old one);
+        without clearing, the sync in ``__post_init__`` would override
+        the requested admission.  Overriding ``max_queue_depth`` on a
+        scenario whose spec selects ``queue_depth`` folds the new depth
+        into the spec (a set spec's params otherwise win, and the legacy
+        knob would be silently ignored).
+        """
         from dataclasses import replace
+        if "admission" in kwargs and "admission_spec" not in kwargs \
+                and self.admission_spec is not None \
+                and self.admission_spec.name != kwargs["admission"]:
+            kwargs["admission_spec"] = None
+        if "max_queue_depth" in kwargs and "admission_spec" not in kwargs \
+                and self.admission_spec is not None \
+                and self.admission_spec.name == "queue_depth":
+            kwargs["admission_spec"] = self.admission_spec.with_params(
+                max_tenant_depth=kwargs["max_queue_depth"])
         return replace(self, **kwargs)
 
 
@@ -338,7 +427,8 @@ class ServingSession:
                              reservoir_capacity=scenario.reservoir_capacity,
                              seed=scenario.seed)
         frontend = ServingFrontend(env, backend, scenario.make_admission(),
-                                   tracker, tenants)
+                                   tracker, tenants,
+                                   dispatch=scenario.make_dispatch())
         requests = scenario.make_arrivals().generate(scenario.duration_s)
         backend.start()
         env.process(arrival_driver(env, frontend, requests))

@@ -10,7 +10,7 @@ mixed-workload generator for stress tests.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from ..core.kernel import Kernel, Microblock, Screen
 from .characteristics import WorkloadCharacteristics

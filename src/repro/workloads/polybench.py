@@ -9,7 +9,7 @@ screens chosen by the caller (typically the number of worker LWPs).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..core.app import Application
 from ..core.kernel import Kernel, build_kernel

@@ -11,7 +11,6 @@ from repro.baseline import (
     run_baseline,
 )
 from repro.hw.power import EnergyAccountant
-from repro.sim import Environment
 from repro.workloads import POLYBENCH, build_workload_kernel, homogeneous_workload
 
 from helpers import run_process

@@ -63,7 +63,7 @@ def test_completion_sets_latency():
 
 def test_mark_running_requires_pending():
     chain = MultiAppExecutionChain()
-    kernel_chain = chain.add_kernel(make_kernel(mblks=1, serial=0, screens=1))
+    chain.add_kernel(make_kernel(mblks=1, serial=0, screens=1))
     _, _, screen = chain.ready_screens()[0]
     chain.mark_running(screen, lwp_id=0, now=0.0)
     with pytest.raises(ValueError):

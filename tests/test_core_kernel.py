@@ -83,7 +83,7 @@ def test_kernel_requires_ordered_microblocks():
 
 
 def test_kernel_ids_are_unique():
-    screens = lambda: [Screen(screen_id=0, instructions=1)]
+    screens = lambda: [Screen(screen_id=0, instructions=1)]  # noqa: E731
     k1 = Kernel("a", [Microblock(index=0, screens=screens())])
     k2 = Kernel("b", [Microblock(index=0, screens=screens())])
     assert k1.kernel_id != k2.kernel_id

@@ -1,6 +1,5 @@
 """Eval-layer tests: knee edge cases and orchestrated cluster sweeps."""
 
-import pytest
 
 from repro.eval import (
     ClusterExperimentSpec,

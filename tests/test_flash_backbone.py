@@ -9,8 +9,7 @@ from repro.flash import (
     FlashGeometry,
     PhysicalPageAddress,
 )
-from repro.hw import EnergyAccountant, prototype_spec
-from repro.sim import Environment
+from repro.hw import EnergyAccountant
 
 from helpers import run_process
 

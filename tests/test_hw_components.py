@@ -3,8 +3,6 @@
 import pytest
 
 from repro.hw import (
-    COMPUTATION,
-    DATA_MOVEMENT,
     CapacityError,
     DDR3L,
     EnergyAccountant,
@@ -14,12 +12,10 @@ from repro.hw import (
     Message,
     PCIeLink,
     Scratchpad,
-    prototype_spec,
     GB,
     KB,
     MB,
 )
-from repro.sim import Environment
 
 from helpers import run_process
 

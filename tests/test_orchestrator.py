@@ -208,7 +208,7 @@ def test_from_env_rejects_negative_parallel(monkeypatch):
 def test_parallel_sweep_matches_serial_results():
     """Acceptance: parallel sweep over >= 4 configs == serial results."""
     systems = ("SIMD", "InterSt", "InterDy", "IntraO3")
-    make = lambda: [_spec(system=s) for s in systems]
+    make = lambda: [_spec(system=s) for s in systems]  # noqa: E731
 
     serial = ExperimentOrchestrator(workers=1).run(make())
     parallel_orch = ExperimentOrchestrator(workers=4)

@@ -133,8 +133,11 @@ def test_deadline_admission_learns_and_rejects():
     view = View()
     generous = request(0, "a", slo=100.0)
     tight = request(1, "a", slo=0.5)
-    # Before any completion feedback the estimator admits everything.
-    assert admission.admit(tight, view)
+    # Before any completion feedback the estimator is blind, so the
+    # cold-start window is bounded: a 12-deep backlog over capacity 2
+    # exceeds the default two dispatch waves and is rejected, not
+    # admitted blindly (the pre-fix behavior).
+    assert not admission.admit(tight, view)
     admission.observe_service_time(0.2)
     # Backlog of 12 over capacity 2 -> 6 waves of 0.2 s + own service.
     assert admission.estimated_completion_s(view) == pytest.approx(1.4)

@@ -6,7 +6,6 @@ from repro.sim.engine import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
 )
