@@ -11,8 +11,18 @@ machine-readable snapshot tracked PR-over-PR at the repo root:
 * ``engine_pingpong_events_per_sec`` — event-signaling (succeed/wait)
   loop, with the same seed baseline.
 * ``serving_requests_per_sec``     — single-device open-loop serving,
-  end to end (arrivals -> admission -> dispatch -> accelerator backend).
-* ``cluster_requests_per_sec``     — two-device sharded serving run.
+  end to end (arrivals -> admission -> dispatch -> accelerator backend);
+  baselined against the committed PR-5 full-scale snapshot rate.
+* ``cluster_requests_per_sec``     — two-device sharded serving run,
+  baselined the same way.
+* ``simulated_requests_per_wall_second`` — the PR-6 headline: the same
+  serving scenario run with steady-state fast-forward, interleaved A/B
+  against the exact engine (the baseline), so the recorded ratio *is*
+  the fast-forward speedup (``--check`` enforces >= 10x at full scale).
+* ``cluster_parallel_requests_per_sec`` — epoch-parallel two-device run,
+  baselined against the same-run serial cluster rate.  Informational
+  only: on single-core hosts the fork/IPC overhead makes this < 1x, so
+  no floor is enforced.
 * ``orchestrator_cache_hits_per_sec`` / ``orchestrator_cache_miss_s`` —
   experiment orchestrator result-cache lookup and full-miss cost.
 * ``reservoir_observes_per_sec``   — LatencyReservoir ingestion.
@@ -37,8 +47,10 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.perf import (  # noqa: E402
     ENGINE_SPEEDUP_THRESHOLD,
+    FASTFORWARD_SPEEDUP_THRESHOLD,
     PerfMetric,
     PerfReport,
+    Threshold,
     check_thresholds,
     measure,
     measure_ab,
@@ -46,6 +58,24 @@ from repro.perf import (  # noqa: E402
 
 SEED_ENGINE_PATH = Path(__file__).with_name("engine_seed_snapshot.py")
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PERF.json"
+
+#: Committed full-scale end-to-end rates from the PR-5 BENCH_PERF.json
+#: snapshot, frozen here as the seed baselines for the end-to-end
+#: metrics so ``--check`` and the CI job summary report speedups for
+#: them, not just for the engine A/B pair.
+SERVING_SEED_BASELINE_RPS = 67.97794616677457
+CLUSTER_SEED_BASELINE_RPS = 61.06510635252943
+
+#: Full-scale thresholds: the tentpole claims, enforced on the committed
+#: snapshot.  Quick (CI smoke) runs use deliberately looser floors —
+#: shared runners jitter, and the smoke check exists to catch collapses,
+#: not to re-litigate the full-scale claim on a noisy host.
+FULL_CHECK_THRESHOLDS = [ENGINE_SPEEDUP_THRESHOLD,
+                         FASTFORWARD_SPEEDUP_THRESHOLD]
+QUICK_CHECK_THRESHOLDS = [
+    Threshold("engine_events_per_sec", 1.5),
+    Threshold("simulated_requests_per_wall_second", 5.0),
+]
 
 
 def load_seed_engine():
@@ -128,6 +158,47 @@ def cluster_run(offered_rps: float, duration_s: float) -> float:
     cluster = ClusterConfig.homogeneous(
         2, PlatformConfig(input_scale=0.01))
     report = ClusterSession(scenario, cluster).run()
+    return float(report.offered)
+
+
+def fastforward_run(offered_rps: float, duration_s: float) -> float:
+    """One fast-forwarded serving run; returns requests offered.
+
+    Raises when the steady-state detector refuses: the headline metric
+    is only meaningful if the analytic cruise actually engaged (a
+    refusal silently re-runs the exact engine, which would record a
+    ~1x "speedup" and mask a detector regression).
+    """
+    from repro.platform.config import PlatformConfig
+    from repro.serve.fastforward import run_serving_fastforward
+    from repro.serve.session import ServingScenario
+
+    scenario = ServingScenario(process="poisson", offered_rps=offered_rps,
+                               duration_s=duration_s, seed=11)
+    config = PlatformConfig(input_scale=0.01)
+    report = run_serving_fastforward(scenario, config)
+    meta = report.fastforward
+    if not (meta and meta.get("engaged")):
+        raise RuntimeError(f"fast-forward did not engage: {meta}")
+    return float(report.offered)
+
+
+def cluster_parallel_run(offered_rps: float, duration_s: float) -> float:
+    """One epoch-parallel two-device run; returns requests offered.
+
+    Mirrors :func:`cluster_run` (same scenario, same fleet) so the
+    same-run serial rate is a like-for-like baseline.
+    """
+    from repro.cluster.parallel import ParallelConfig, run_cluster_parallel
+    from repro.platform.cluster import ClusterConfig
+    from repro.platform.config import PlatformConfig
+    from repro.serve.session import ServingScenario
+
+    scenario = ServingScenario(process="poisson", offered_rps=offered_rps,
+                               duration_s=duration_s, seed=13)
+    cluster = ClusterConfig.homogeneous(
+        2, PlatformConfig(input_scale=0.01))
+    report = run_cluster_parallel(scenario, cluster, ParallelConfig())
     return float(report.offered)
 
 
@@ -234,6 +305,7 @@ def build_report(quick: bool = False, repeats: int = 5) -> PerfReport:
     pairs, rounds = 50, max(200, int(2000 * scale))
     serving_s = max(2.0, 5.0 * scale)
     cluster_s = max(2.0, 4.0 * scale)
+    fastforward_s = 6.0 if quick else 10.0
     reservoir_n = max(50_000, int(400_000 * scale))
     frontend_n = max(5_000, int(20_000 * scale))
     hit_lookups = max(200, int(1000 * scale))
@@ -281,7 +353,23 @@ def build_report(quick: bool = False, repeats: int = 5) -> PerfReport:
         lambda: serving_run(240.0, serving_s),
         repeats=max(2, repeats - 2), warmup=0)
     report.add(PerfMetric("serving_requests_per_sec", serving.rate,
-                          "requests/s"))
+                          "requests/s",
+                          baseline=SERVING_SEED_BASELINE_RPS))
+
+    print(f"• serving: fast-forward vs exact "
+          f"(240 rps x {fastforward_s:g}s simulated)")
+    # Interleaved A/B like the engine pair: the baseline is the exact
+    # engine on the *same* scenario in the *same* run, so the recorded
+    # ratio is the fast-forward speedup itself.
+    ff, ff_exact = measure_ab(
+        "simulated_requests_per_wall_second",
+        lambda: fastforward_run(240.0, fastforward_s),
+        "simulated_requests_per_wall_second_exact",
+        lambda: serving_run(240.0, fastforward_s),
+        repeats=2, warmup=0)
+    report.add(PerfMetric("simulated_requests_per_wall_second",
+                          ff.best_rate, "requests/s",
+                          baseline=ff_exact.best_rate))
 
     print(f"• cluster: 2-device sharded run (360 rps x {cluster_s:g}s)")
     cluster = measure(
@@ -289,7 +377,17 @@ def build_report(quick: bool = False, repeats: int = 5) -> PerfReport:
         lambda: cluster_run(360.0, cluster_s),
         repeats=max(2, repeats - 2), warmup=0)
     report.add(PerfMetric("cluster_requests_per_sec", cluster.rate,
-                          "requests/s"))
+                          "requests/s",
+                          baseline=CLUSTER_SEED_BASELINE_RPS))
+
+    print(f"• cluster: epoch-parallel 2-device run "
+          f"(360 rps x {cluster_s:g}s)")
+    par = measure(
+        "cluster_parallel_requests_per_sec",
+        lambda: cluster_parallel_run(360.0, cluster_s),
+        repeats=2, warmup=0)
+    report.add(PerfMetric("cluster_parallel_requests_per_sec", par.rate,
+                          "requests/s", baseline=cluster.rate))
 
     print(f"• orchestrator: cache miss + {hit_lookups} hit lookups")
     miss_s, hits_per_s = orchestrator_cache(hit_lookups)
@@ -337,7 +435,9 @@ def main(argv=None) -> int:
                              "(default: repo root)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless the engine beats the "
-                             "seed baseline by the required 2x")
+                             "seed baseline (2x full / 1.5x quick) and "
+                             "fast-forward beats the exact engine "
+                             "(10x full / 5x quick)")
     args = parser.parse_args(argv)
 
     report = build_report(quick=args.quick, repeats=args.repeats)
@@ -347,14 +447,18 @@ def main(argv=None) -> int:
     print(f"\nwrote {path}")
 
     if args.check:
-        violations = check_thresholds(report, [ENGINE_SPEEDUP_THRESHOLD])
+        thresholds = QUICK_CHECK_THRESHOLDS if args.quick \
+            else FULL_CHECK_THRESHOLDS
+        violations = check_thresholds(report, thresholds)
         if violations:
             for violation in violations:
                 print(f"THRESHOLD VIOLATION: {violation}", file=sys.stderr)
             return 1
-        engine = report.get("engine_events_per_sec")
-        assert engine is not None and engine.ratio is not None
-        print(f"engine speedup vs seed: {engine.ratio:.2f}x (>= 2.00x OK)")
+        for threshold in thresholds:
+            entry = report.get(threshold.metric)
+            assert entry is not None and entry.ratio is not None
+            print(f"{threshold.metric}: {entry.ratio:.2f}x "
+                  f"(>= {threshold.min_ratio:.2f}x OK)")
     return 0
 
 

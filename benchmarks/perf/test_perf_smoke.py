@@ -19,6 +19,11 @@ from repro.perf import PerfReport
 #: BENCH_PERF.json.
 SMOKE_ENGINE_SPEEDUP_FLOOR = 1.5
 
+#: Fast-forward floor for the smoke run, likewise looser than the 10x
+#: full-scale claim (quick runs simulate a shorter horizon, so the exact
+#: warm-up is a larger fraction of the fast-forwarded wall time).
+SMOKE_FASTFORWARD_SPEEDUP_FLOOR = 5.0
+
 
 @pytest.fixture(scope="module")
 def quick_report():
@@ -29,6 +34,8 @@ def test_emits_at_least_four_named_metrics(quick_report):
     assert len(quick_report.metrics) >= 4
     for required in ("engine_events_per_sec", "serving_requests_per_sec",
                      "cluster_requests_per_sec",
+                     "simulated_requests_per_wall_second",
+                     "cluster_parallel_requests_per_sec",
                      "orchestrator_cache_hits_per_sec"):
         metric = quick_report.get(required)
         assert metric is not None, f"missing metric {required}"
@@ -43,6 +50,29 @@ def test_engine_beats_seed_baseline(quick_report):
     assert engine.ratio >= SMOKE_ENGINE_SPEEDUP_FLOOR, (
         f"engine speedup {engine.ratio:.2f}x fell below the smoke floor "
         f"{SMOKE_ENGINE_SPEEDUP_FLOOR}x — hot-path regression?")
+
+
+def test_fastforward_beats_exact_engine(quick_report):
+    ff = quick_report.get("simulated_requests_per_wall_second")
+    assert ff is not None
+    assert ff.baseline is not None and ff.baseline > 0
+    assert ff.ratio is not None
+    assert ff.ratio >= SMOKE_FASTFORWARD_SPEEDUP_FLOOR, (
+        f"fast-forward speedup {ff.ratio:.2f}x fell below the smoke "
+        f"floor {SMOKE_FASTFORWARD_SPEEDUP_FLOOR}x — detector or "
+        f"analytic-path regression?")
+
+
+def test_end_to_end_metrics_carry_seed_baselines(quick_report):
+    # The serving/cluster metrics report speedups against the committed
+    # PR-5 snapshot; the parallel metric against the same-run serial
+    # cluster rate (informational: < 1x is expected on 1-core hosts).
+    for name in ("serving_requests_per_sec", "cluster_requests_per_sec",
+                 "cluster_parallel_requests_per_sec"):
+        metric = quick_report.get(name)
+        assert metric is not None, f"missing metric {name}"
+        assert metric.baseline is not None and metric.baseline > 0
+        assert metric.ratio is not None and metric.ratio > 0
 
 
 def test_report_round_trips_through_disk(quick_report, tmp_path):

@@ -71,12 +71,17 @@ def diff_snapshots(old_path: str, new_path: str) -> int:
     print()
     print(f"{'metric':38s} {'old':>14s} {'new':>14s} {'speedup':>8s}")
     for name, entry in diff_reports(old, new).items():
+        # Snapshots from different PRs legitimately disagree on which
+        # metrics exist; one-sided entries are labeled, never an error
+        # (adding or retiring a benchmark is not a regression).
         if entry.get("only_in_old"):
-            print(f"{name:38s} {entry['old']:>14,.2f} {'—':>14s} {'—':>8s}")
+            print(f"{name:38s} {entry['old']:>14,.2f} {'—':>14s} "
+                  f"{'removed':>8s}")
         elif entry.get("only_in_new"):
-            print(f"{name:38s} {'—':>14s} {entry['new']:>14,.2f} {'—':>8s}")
+            print(f"{name:38s} {'—':>14s} {entry['new']:>14,.2f} "
+                  f"{'added':>8s}")
         else:
-            speedup = entry["speedup"]
+            speedup = entry.get("speedup")
             shown = f"{speedup:.2f}x" if speedup is not None else "—"
             print(f"{name:38s} {entry['old']:>14,.2f} "
                   f"{entry['new']:>14,.2f} {shown:>8s}")

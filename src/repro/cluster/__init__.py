@@ -25,6 +25,11 @@ from .placement import (
     make_placement,
     stable_tenant_hash,
 )
+from .parallel import (
+    ParallelClusterSession,
+    ParallelConfig,
+    run_cluster_parallel,
+)
 from .report import ClusterReport
 from .session import ClusterSession, run_cluster
 
@@ -41,6 +46,9 @@ __all__ = [
     "TenantAffinityPlacement",
     "make_placement",
     "stable_tenant_hash",
+    "ParallelClusterSession",
+    "ParallelConfig",
+    "run_cluster_parallel",
     "ClusterReport",
     "ClusterSession",
     "run_cluster",

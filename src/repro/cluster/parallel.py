@@ -1,0 +1,752 @@
+"""Parallel cluster runner: device shards in worker processes.
+
+The serial :class:`~repro.cluster.session.ClusterSession` advances every
+device of the fleet on one shared event heap — N devices' events
+interleave through a single priority queue on a single core.  But the
+devices are *almost* independent: they only interact through routing
+decisions (placement) and failure reroutes.  This module exploits that:
+
+* every :class:`~repro.cluster.health.DeviceShard` gets its **own**
+  :class:`~repro.sim.engine.Environment`, and shards are partitioned
+  over persistent worker processes (Linux ``fork``, mirroring the
+  orchestrator pool's fork-by-index dispatch — workers inherit the
+  scenario/cluster objects through fork and never unpickle them);
+* cross-shard interaction is quantized into fixed **epochs** of
+  simulated time.  The coordinator routes each epoch's arrivals using
+  the placement policy over epoch-boundary shard snapshots, the workers
+  advance their shards to the epoch end independently, and completions,
+  health transitions and evicted backlogs flow back at the boundary.
+
+Determinism contract: the run is seed-reproducible and **independent of
+the worker count** — one worker and eight workers produce byte-identical
+:class:`~repro.cluster.report.ClusterReport`s.  Everything that crosses
+the epoch boundary is merged in a canonical order (completions by
+``(time, shard, sequence)``, shards by index), the placement policy only
+ever sees epoch-boundary snapshots, and per-shard RNG seeding matches
+the serial session.  Epoch length is therefore *semantic* (it changes
+when routing observes queue state) and folds into experiment cache
+keys; the worker count is pure execution strategy and does not.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..platform.cluster import ClusterConfig, FaultSpec
+from ..policy import build_policy
+from ..serve.report import ServingReport
+from ..serve.request import RequestRecord
+from ..serve.session import (
+    ServingScenario,
+    assemble_serving_report,
+    build_serving_backend,
+    latency_summary,
+)
+from ..serve.frontend import ServingFrontend
+from ..serve.slo import SLOTracker
+from ..sim.engine import Environment
+from .health import DeviceHealth, DeviceShard
+from .report import ClusterReport
+
+#: Completion event crossing the epoch boundary:
+#: (completed_at, shard_seq, tenant, latency_s, violated).
+CompletionEvent = Tuple[float, int, str, float, bool]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution knobs for the parallel cluster runner.
+
+    ``epoch_s`` is the cross-shard exchange quantum and is *semantic*
+    (routing sees fresher queue state with shorter epochs), so it is the
+    only field serialized into experiment cache keys.  ``workers`` is
+    pure execution strategy — 0 means auto (one worker per device,
+    bounded by the CPU count), 1 forces the in-process path — and never
+    affects results.
+    """
+
+    workers: int = 0
+    epoch_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
+        if self.epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Cache-key form: only the semantic field."""
+        return {"epoch_s": self.epoch_s}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ParallelConfig":
+        """Rebuild from :meth:`to_dict` output (workers stays auto)."""
+        return cls(epoch_s=float(data.get("epoch_s", 0.25)))
+
+
+class EpochTracker(SLOTracker):
+    """Per-shard tracker that buffers events for epoch shipping.
+
+    The serial session's :class:`~repro.cluster.dispatcher.ShardTracker`
+    forwards completions to the fleet tracker in-process; across a
+    process boundary they are instead buffered as plain tuples and
+    drained into the epoch payload.  Admission outcomes ship as
+    per-tenant count deltas (the fleet's offered counts are recorded by
+    the coordinator at routing time, mirroring the serial dispatcher).
+    """
+
+    def __init__(self, tenants, reservoir_capacity: int = 4096,
+                 seed: int = 0):
+        super().__init__(tenants, reservoir_capacity=reservoir_capacity,
+                         seed=seed)
+        self._seq = 0
+        self.epoch_admitted: Dict[str, int] = {}
+        self.epoch_rejected: Dict[str, int] = {}
+        self.epoch_completions: List[CompletionEvent] = []
+
+    def on_admitted(self, tenant: str) -> None:
+        super().on_admitted(tenant)
+        self.epoch_admitted[tenant] = \
+            self.epoch_admitted.get(tenant, 0) + 1
+
+    def on_rejected(self, tenant: str) -> None:
+        super().on_rejected(tenant)
+        self.epoch_rejected[tenant] = \
+            self.epoch_rejected.get(tenant, 0) + 1
+
+    def on_completed(self, record: RequestRecord) -> None:
+        super().on_completed(record)
+        self._seq += 1
+        self.epoch_completions.append(
+            (record.completed_at, self._seq, record.tenant,
+             record.latency_s, record.slo_met is False))
+
+    def drain_epoch(self) -> Tuple[Dict[str, int], Dict[str, int],
+                                   List[CompletionEvent]]:
+        """Hand over and reset this epoch's buffered events."""
+        out = (self.epoch_admitted, self.epoch_rejected,
+               self.epoch_completions)
+        self.epoch_admitted = {}
+        self.epoch_rejected = {}
+        self.epoch_completions = []
+        return out
+
+
+class _FleetCompletion:
+    """Duck-typed completion record for the fleet tracker's feed."""
+
+    __slots__ = ("tenant", "latency_s", "slo_met")
+
+    def __init__(self, tenant: str, latency_s: float, violated: bool):
+        self.tenant = tenant
+        self.latency_s = latency_s
+        self.slo_met = not violated
+
+
+class _ShardGroup:
+    """One worker's slice of the fleet: shards on private environments.
+
+    Used identically by worker processes and by the in-process
+    (``workers=1``) path, so both execute the exact same code per shard
+    — the determinism contract across worker counts reduces to the
+    coordinator merging payloads in canonical order.
+    """
+
+    def __init__(self, scenario: ServingScenario, cluster: ClusterConfig,
+                 indices: Sequence[int]):
+        self.scenario = scenario
+        self.cluster = cluster
+        tenants = [t.name for t in scenario.tenants]
+        self.shards: Dict[int, DeviceShard] = {}
+        self._evicted: Dict[int, List[RequestRecord]] = {}
+        self._health_events: Dict[int, List[List[Any]]] = {}
+        self._self_draining: Dict[int, bool] = {}
+        faults = sorted(cluster.faults, key=lambda f: f.time_s)
+        for index in indices:
+            config = cluster.devices[index]
+            env = Environment()
+            backend = build_serving_backend(scenario, config, env=env)
+            # Reservoir seeds match the serial session's per-device
+            # offsets, so shard-level accounting is comparable.
+            tracker = EpochTracker(
+                tenants,
+                reservoir_capacity=scenario.reservoir_capacity,
+                seed=scenario.seed + 1000 * (index + 1))
+            frontend = ServingFrontend(env, backend,
+                                       scenario.make_admission(),
+                                       tracker, tenants,
+                                       dispatch=scenario.make_dispatch())
+            shard = DeviceShard(index, config, backend, frontend, tracker)
+            self.shards[index] = shard
+            self._evicted[index] = []
+            self._health_events[index] = []
+            self._self_draining[index] = False
+            backend.start()
+            mine = [f for f in faults if f.device == index]
+            if mine:
+                env.process(self._fault_driver(shard, mine))
+
+    # -- in-simulation fault handling -----------------------------------
+    def _fault_driver(self, shard: DeviceShard, faults: List[FaultSpec]):
+        env = shard.backend.env
+        for fault in faults:
+            delay = fault.time_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            state = DeviceHealth(fault.state)
+            self._health_events[shard.index].append(
+                [env.now, shard.index, state.value])
+            if state is DeviceHealth.FAILED \
+                    and shard.health is DeviceHealth.FAILED:
+                # Repeated failure must not re-zero a self-draining
+                # device's capacity (mirrors the serial dispatcher).
+                continue
+            shard.apply_health(
+                state, self.cluster.degraded_capacity_factor)
+            if state is DeviceHealth.FAILED:
+                self._evicted[shard.index].extend(
+                    shard.frontend.evict_queued())
+            else:
+                self._self_draining[shard.index] = False
+
+    # -- per-epoch execution --------------------------------------------
+    def run_epoch(self, end_s: float,
+                  arrivals: Dict[int, list],
+                  adopted: Dict[int, List[RequestRecord]],
+                  restore: Sequence[int]) -> Dict[int, Dict[str, Any]]:
+        """Advance every owned shard to ``end_s``; ship the boundary."""
+        results: Dict[int, Dict[str, Any]] = {}
+        for index in sorted(self.shards):
+            shard = self.shards[index]
+            env = shard.backend.env
+            if index in restore:
+                # Self-drain fallback: no routable peer exists, so the
+                # failed device works off its own backlog (serial
+                # semantics); don't re-evict it at the epoch boundary.
+                shard.frontend.capacity_limit = None
+                self._self_draining[index] = True
+            for record in adopted.get(index, ()):
+                shard.frontend.enqueue_record(record)
+            mine = arrivals.get(index)
+            if mine:
+                env.process(_epoch_arrivals(env, shard.frontend, mine))
+            while True:
+                when = env.peek()
+                if when > end_s:
+                    break
+                env.step()
+                shard.backend.check_health()
+            env.advance_to(end_s)
+            if shard.health is DeviceHealth.FAILED \
+                    and not self._self_draining[index]:
+                # Traffic routed here on a stale (pre-failure) snapshot
+                # would otherwise sit queued forever: hand it back.
+                self._evicted[index].extend(shard.frontend.evict_queued())
+            admitted, rejected, completions = shard.tracker.drain_epoch()
+            evicted = self._evicted[index]
+            self._evicted[index] = []
+            results[index] = {
+                "snapshot": _snapshot(shard),
+                "admitted": admitted,
+                "rejected": rejected,
+                "completions": completions,
+                "evicted": evicted,
+                "health_events": self._health_events[index],
+            }
+            self._health_events[index] = []
+        return results
+
+    # -- drain + report --------------------------------------------------
+    def finish(self) -> Dict[int, Dict[str, Any]]:
+        """Close, drain and report every owned shard."""
+        results: Dict[int, Dict[str, Any]] = {}
+        for index in sorted(self.shards):
+            shard = self.shards[index]
+            env = shard.backend.env
+            frontend = shard.frontend
+            frontend.close()
+            stall_horizon = max(60.0, 10.0 * self.scenario.duration_s)
+            last_settled = -1
+            last_progress = env.now
+            while not frontend.drained:
+                if env.peek() == float("inf"):
+                    raise RuntimeError(
+                        f"device {index} stalled while draining at "
+                        f"t={env.now:.3f}s")
+                if shard.tracker.settled != last_settled:
+                    last_settled = shard.tracker.settled
+                    last_progress = env.now
+                elif env.now - last_progress > stall_horizon:
+                    raise RuntimeError(
+                        f"device {index} made no progress for "
+                        f"{stall_horizon:.0f} simulated seconds")
+                env.step()
+                shard.backend.check_health()
+            shard.backend.finish()
+            while env.peek() != float("inf"):
+                env.step()
+            shard.backend.check_health()
+            stats_fn = getattr(shard.backend, "scheduler_stats", None)
+            report = assemble_serving_report(
+                self.scenario, shard.config.system, shard.tracker,
+                makespan_s=env.now, energy_j=shard.backend.energy_j,
+                scheduler_stats=stats_fn() if stats_fn else None)
+            admitted, rejected, completions = shard.tracker.drain_epoch()
+            results[index] = {
+                "report": report.to_dict(),
+                "admitted": admitted,
+                "rejected": rejected,
+                "completions": completions,
+                "health_events": self._health_events[index],
+                "makespan_s": env.now,
+                "energy_j": shard.backend.energy_j,
+                "health": shard.health.value,
+            }
+            self._health_events[index] = []
+        return results
+
+
+def _epoch_arrivals(env: Environment, frontend: ServingFrontend,
+                    requests: list):
+    """Feed one epoch's routed arrivals into one shard's front-end."""
+    for request in requests:
+        delay = request.arrival_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        frontend.submit(request)
+
+
+def _snapshot(shard: DeviceShard) -> Tuple[int, int, int, float, str]:
+    """Epoch-boundary view: (queued, in_flight, capacity, energy, health)."""
+    return (shard.queued, shard.in_flight, shard.capacity,
+            shard.energy_j, shard.health.value)
+
+
+class _EpochShardView:
+    """Placement-policy view of one shard, coordinator side.
+
+    Carries the latest epoch-boundary snapshot; routing a request bumps
+    ``queued`` so policies like join-shortest-queue spread the epoch's
+    arrivals instead of dogpiling the shortest snapshot.
+    """
+
+    __slots__ = ("index", "queued", "in_flight", "capacity", "energy_j",
+                 "health")
+
+    def __init__(self, index: int, capacity: int):
+        self.index = index
+        self.queued = 0
+        self.in_flight = 0
+        self.capacity = capacity
+        self.energy_j = 0.0
+        self.health = DeviceHealth.HEALTHY
+
+    def apply(self, snapshot: Tuple[int, int, int, float, str]) -> None:
+        """Fold one epoch-boundary snapshot into the view."""
+        queued, in_flight, capacity, energy_j, health = snapshot
+        self.queued = queued
+        self.in_flight = in_flight
+        self.capacity = capacity
+        self.energy_j = energy_j
+        self.health = DeviceHealth(health)
+
+    @property
+    def routable(self) -> bool:
+        """Whether the coordinator may route new traffic here."""
+        return self.health is not DeviceHealth.FAILED
+
+
+# --------------------------------------------------------------------- #
+# Worker process plumbing (fork-by-index, like the orchestrator pool)    #
+# --------------------------------------------------------------------- #
+# The worker inherits (scenario, cluster, indices) through fork and
+# builds its shard group in its own process — backends never cross the
+# process boundary in either direction.  The global is only populated
+# while the processes are being spawned.
+_FORK_INIT: Dict[int, Tuple[ServingScenario, ClusterConfig,
+                            Tuple[int, ...]]] = {}
+_FORK_INIT_LOCK = threading.Lock()
+
+
+def _worker_main(slot: int, conn) -> None:
+    """Worker loop: build the shard group, serve epoch commands."""
+    scenario, cluster, indices = _FORK_INIT[slot]
+    try:
+        group = _ShardGroup(scenario, cluster, indices)
+        conn.send(("ready", {index: _snapshot(group.shards[index])
+                             for index in indices}))
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "epoch":
+                _, end_s, arrivals, adopted, restore = message
+                conn.send(("epoch", group.run_epoch(
+                    end_s, arrivals, adopted, restore)))
+            elif command == "finish":
+                conn.send(("finish", group.finish()))
+            else:
+                return
+    except BaseException as error:  # ship the failure to the coordinator
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+
+
+class ParallelClusterSession:
+    """Runs one scenario on a fleet, shards spread over processes."""
+
+    def __init__(self, scenario: ServingScenario, cluster: ClusterConfig,
+                 parallel: Optional[ParallelConfig] = None):
+        self.scenario = scenario
+        self.cluster = cluster
+        self.parallel = parallel if parallel is not None \
+            else ParallelConfig()
+
+    def _effective_workers(self) -> int:
+        requested = self.parallel.workers
+        if requested == 0:
+            requested = os.cpu_count() or 1
+        workers = min(requested, self.cluster.device_count)
+        # Fork is what makes the no-pickling worker bootstrap safe; on
+        # platforms without it, fall back to the in-process path (the
+        # results are identical by contract).
+        if workers > 1 and not (
+                sys.platform.startswith("linux")
+                and "fork" in multiprocessing.get_all_start_methods()):
+            return 1
+        return workers
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def run(self) -> ClusterReport:
+        """Execute the scenario across worker processes; returns report."""
+        workers = self._effective_workers()
+        device_count = self.cluster.device_count
+        if workers <= 1:
+            return self._run_inline(tuple(range(device_count)))
+        # Striped partition: worker k owns devices k, k+W, k+2W, ... —
+        # which devices land where is irrelevant to the results (the
+        # coordinator merges canonically), striping just balances
+        # heterogeneous fleets.
+        chunks = [tuple(range(start, device_count, workers))
+                  for start in range(workers)]
+        return self._run_forked(chunks)
+
+    def _run_inline(self, indices: Tuple[int, ...]) -> ClusterReport:
+        group = _ShardGroup(self.scenario, self.cluster, indices)
+        snapshots = {index: _snapshot(group.shards[index])
+                     for index in indices}
+        coordinator = _Coordinator(self.scenario, self.cluster,
+                                   self.parallel, snapshots)
+        while True:
+            step = coordinator.next_step()
+            if step is None:
+                break
+            end_s, arrivals, adopted, restore = step
+            coordinator.fold_epoch(
+                group.run_epoch(end_s, arrivals, adopted, restore))
+        return coordinator.assemble(group.finish())
+
+    def _run_forked(self, chunks: List[Tuple[int, ...]]) -> ClusterReport:
+        ctx = multiprocessing.get_context("fork")
+        pipes = []
+        processes = []
+        with _FORK_INIT_LOCK:
+            _FORK_INIT.clear()
+            for slot, indices in enumerate(chunks):
+                _FORK_INIT[slot] = (self.scenario, self.cluster, indices)
+            try:
+                for slot, indices in enumerate(chunks):
+                    parent, child = ctx.Pipe()
+                    process = ctx.Process(target=_worker_main,
+                                          args=(slot, child),
+                                          daemon=True)
+                    process.start()
+                    child.close()
+                    pipes.append(parent)
+                    processes.append(process)
+            finally:
+                _FORK_INIT.clear()
+        try:
+            snapshots: Dict[int, Tuple] = {}
+            for parent in pipes:
+                kind, payload = parent.recv()
+                if kind == "error":
+                    raise RuntimeError(f"cluster worker failed: {payload}")
+                snapshots.update(payload)
+            coordinator = _Coordinator(self.scenario, self.cluster,
+                                       self.parallel, snapshots)
+            owner = {index: slot for slot, indices in enumerate(chunks)
+                     for index in indices}
+            while True:
+                step = coordinator.next_step()
+                if step is None:
+                    break
+                end_s, arrivals, adopted, restore = step
+                per_slot: Dict[int, Tuple[dict, dict, list]] = {
+                    slot: ({}, {}, []) for slot in range(len(chunks))}
+                for index, reqs in arrivals.items():
+                    per_slot[owner[index]][0][index] = reqs
+                for index, records in adopted.items():
+                    per_slot[owner[index]][1][index] = records
+                for index in restore:
+                    per_slot[owner[index]][2].append(index)
+                for slot, parent in enumerate(pipes):
+                    slot_arrivals, slot_adopted, slot_restore = \
+                        per_slot[slot]
+                    parent.send(("epoch", end_s, slot_arrivals,
+                                 slot_adopted, slot_restore))
+                merged: Dict[int, Dict[str, Any]] = {}
+                for parent in pipes:
+                    kind, payload = parent.recv()
+                    if kind == "error":
+                        raise RuntimeError(
+                            f"cluster worker failed: {payload}")
+                    merged.update(payload)
+                coordinator.fold_epoch(merged)
+            for parent in pipes:
+                parent.send(("finish",))
+            finish: Dict[int, Dict[str, Any]] = {}
+            for parent in pipes:
+                kind, payload = parent.recv()
+                if kind == "error":
+                    raise RuntimeError(f"cluster worker failed: {payload}")
+                finish.update(payload)
+            for parent in pipes:
+                parent.send(("stop",))
+            return coordinator.assemble(finish)
+        finally:
+            for parent in pipes:
+                parent.close()
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+
+
+class _Coordinator:
+    """Epoch-boundary routing, fleet accounting and report assembly."""
+
+    def __init__(self, scenario: ServingScenario, cluster: ClusterConfig,
+                 parallel: ParallelConfig,
+                 snapshots: Dict[int, Tuple]):
+        self.scenario = scenario
+        self.cluster = cluster
+        self.parallel = parallel
+        tenants = [t.name for t in scenario.tenants]
+        self.fleet = SLOTracker(
+            tenants, reservoir_capacity=scenario.reservoir_capacity,
+            seed=scenario.seed)
+        self.policy = build_policy(
+            "placement", cluster.placement_policy_spec(),
+            device_count=cluster.device_count,
+            salt=cluster.affinity_salt)
+        self.views = {index: _EpochShardView(index, snapshots[index][2])
+                      for index in sorted(snapshots)}
+        for index, snapshot in snapshots.items():
+            self.views[index].apply(snapshot)
+        self.requests = scenario.make_arrivals().generate(
+            scenario.duration_s)
+        self._cursor = 0
+        self._epoch = 0
+        self._pending_reroutes: List[Tuple[int, RequestRecord]] = []
+        self.routed = {index: 0 for index in self.views}
+        self.rerouted_in = {index: 0 for index in self.views}
+        self.rerouted_out = {index: 0 for index in self.views}
+        self.reroutes = 0
+        self.cluster_rejected = 0
+        self.health_events: List[List[Any]] = []
+        self.epochs_run = 0
+
+    # -- epoch planning --------------------------------------------------
+    def next_step(self) -> Optional[Tuple[float, Dict[int, list],
+                                          Dict[int, List[RequestRecord]],
+                                          List[int]]]:
+        """The next epoch command, or None when fully settled.
+
+        Epochs keep running past the arrival horizon while evicted
+        backlogs are still in flight between shards.
+        """
+        done_arrivals = self._cursor >= len(self.requests)
+        if done_arrivals and not self._pending_reroutes:
+            return None
+        if self.epochs_run > self._epoch_bound():
+            raise RuntimeError(
+                "parallel cluster run did not settle: evicted backlog "
+                "still circulating after the fault timeline ended")
+        end_s = (self._epoch + 1) * self.parallel.epoch_s
+        self._epoch += 1
+        self.epochs_run += 1
+        arrivals: Dict[int, list] = {}
+        adopted: Dict[int, List[RequestRecord]] = {}
+        restore: List[int] = []
+        self._route_reroutes(adopted, restore)
+        cursor = self._cursor
+        requests = self.requests
+        while cursor < len(requests) \
+                and requests[cursor].arrival_s < end_s:
+            request = requests[cursor]
+            cursor += 1
+            self.fleet.on_offered(request.tenant)
+            routable = [view for view in self.views.values()
+                        if view.routable]
+            if not routable:
+                self.cluster_rejected += 1
+                self.fleet.on_rejected(request.tenant)
+                continue
+            view = self.policy.select(request, routable)
+            view.queued += 1
+            self.routed[view.index] += 1
+            arrivals.setdefault(view.index, []).append(request)
+        self._cursor = cursor
+        return end_s, arrivals, adopted, restore
+
+    def _epoch_bound(self) -> int:
+        """Settlement backstop: arrivals + one bounce per fault + slack."""
+        base = math.ceil(self.scenario.duration_s / self.parallel.epoch_s)
+        return base + 2 * (len(self.cluster.faults) + 2) \
+            + self.cluster.device_count
+
+    def _route_reroutes(self, adopted: Dict[int, List[RequestRecord]],
+                        restore: List[int]) -> None:
+        """Place the previous epoch's evicted backlog (canonical order)."""
+        pending = self._pending_reroutes
+        if not pending:
+            return
+        self._pending_reroutes = []
+        targets = [view for view in self.views.values() if view.routable]
+        for origin, record in pending:
+            if not targets:
+                # No routable peer: the failed origin self-drains
+                # (capacity restored worker-side), serial semantics.
+                adopted.setdefault(origin, []).append(record)
+                if origin not in restore:
+                    restore.append(origin)
+                continue
+            view = self.policy.select(record.request, targets)
+            view.queued += 1
+            self.rerouted_in[view.index] += 1
+            self.rerouted_out[origin] += 1
+            self.reroutes += 1
+            adopted.setdefault(view.index, []).append(record)
+
+    # -- epoch results ----------------------------------------------------
+    def fold_epoch(self, results: Dict[int, Dict[str, Any]]) -> None:
+        """Merge one epoch's payloads in canonical shard order."""
+        completions: List[Tuple[float, int, int, str, float, bool]] = []
+        for index in sorted(results):
+            payload = results[index]
+            self.views[index].apply(payload["snapshot"])
+            self._fold_counters(payload["admitted"], payload["rejected"])
+            for done, seq, tenant, latency, violated \
+                    in payload["completions"]:
+                completions.append(
+                    (done, index, seq, tenant, latency, violated))
+            for record in payload["evicted"]:
+                self._pending_reroutes.append((index, record))
+            self.health_events.extend(payload["health_events"])
+        self._feed_completions(completions)
+
+    def _fold_counters(self, admitted: Dict[str, int],
+                       rejected: Dict[str, int]) -> None:
+        # Count deltas are order-insensitive, so they are applied
+        # directly instead of replaying one on_admitted() per request.
+        for tenant in sorted(admitted):
+            count = admitted[tenant]
+            self.fleet.accounts[tenant].admitted += count
+            self.fleet.aggregate.admitted += count
+        for tenant in sorted(rejected):
+            count = rejected[tenant]
+            self.fleet.accounts[tenant].rejected += count
+            self.fleet.aggregate.rejected += count
+
+    def _feed_completions(
+            self, completions: List[Tuple[float, int, int, str,
+                                          float, bool]]) -> None:
+        # Canonical merge order — (time, shard, shard-sequence) — makes
+        # the fleet reservoir's sample stream identical no matter how
+        # shards were partitioned over workers.
+        completions.sort(key=lambda c: (c[0], c[1], c[2]))
+        for _, _, _, tenant, latency, violated in completions:
+            self.fleet.on_completed(
+                _FleetCompletion(tenant, latency, violated))
+
+    # -- final assembly ----------------------------------------------------
+    def assemble(self, finish: Dict[int, Dict[str, Any]]) -> ClusterReport:
+        """Fold the drain-phase payloads and build the fleet report."""
+        completions: List[Tuple[float, int, int, str, float, bool]] = []
+        for index in sorted(finish):
+            payload = finish[index]
+            self._fold_counters(payload["admitted"], payload["rejected"])
+            for done, seq, tenant, latency, violated \
+                    in payload["completions"]:
+                completions.append(
+                    (done, index, seq, tenant, latency, violated))
+            self.health_events.extend(payload["health_events"])
+        self._feed_completions(completions)
+        scenario = self.scenario
+        aggregate = self.fleet.aggregate
+        duration = scenario.duration_s
+        indices = sorted(finish)
+        devices = [ServingReport.from_dict(finish[index]["report"])
+                   for index in indices]
+        placement_stats = {
+            "routed": [self.routed[index] for index in indices],
+            "rerouted_in": [self.rerouted_in[index] for index in indices],
+            "rerouted_out": [self.rerouted_out[index]
+                             for index in indices],
+            "reroutes": self.reroutes,
+            "cluster_rejected": self.cluster_rejected,
+            "final_health": [finish[index]["health"] for index in indices],
+            "epoch_s": self.parallel.epoch_s,
+            "epochs": self.epochs_run,
+        }
+        self.health_events.sort(key=lambda e: (e[0], e[1]))
+        return ClusterReport(
+            system=self.cluster.label,
+            workload=scenario.label,
+            placement=self.cluster.placement,
+            device_count=len(indices),
+            duration_s=duration,
+            makespan_s=max(finish[index]["makespan_s"]
+                           for index in indices),
+            offered=aggregate.offered,
+            admitted=aggregate.admitted,
+            rejected=aggregate.rejected,
+            completed=aggregate.completed,
+            slo_violations=aggregate.slo_violations,
+            offered_rps=aggregate.offered / duration,
+            goodput_rps=aggregate.goodput_rps(duration),
+            latency=latency_summary(aggregate),
+            per_tenant={tenant: self.fleet.account(tenant).as_dict(duration)
+                        for tenant in self.fleet.tenants()},
+            energy_j=sum(finish[index]["energy_j"] for index in indices),
+            devices=devices,
+            placement_stats=placement_stats,
+            health_events=[list(event) for event in self.health_events],
+        )
+
+
+def run_cluster_parallel(
+        scenario: ServingScenario, cluster: ClusterConfig,
+        parallel: Optional[ParallelConfig] = None) -> ClusterReport:
+    """Convenience wrapper: run one scenario on one fleet in parallel."""
+    return ParallelClusterSession(scenario, cluster, parallel).run()
+
+
+__all__ = [
+    "EpochTracker",
+    "ParallelClusterSession",
+    "ParallelConfig",
+    "run_cluster_parallel",
+]

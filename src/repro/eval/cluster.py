@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import List, Optional, Sequence
 
+from ..cluster.parallel import ParallelClusterSession, ParallelConfig
 from ..cluster.report import ClusterReport
 from ..cluster.session import ClusterSession
 from ..platform.cluster import ClusterConfig
@@ -47,19 +48,31 @@ class ClusterExperimentSpec:
 
     scenario: ServingScenario
     cluster: ClusterConfig
+    #: Optional epoch-parallel execution (None = serial session).  Only
+    #: the *semantic* knob (``epoch_s``) folds into the cache key: the
+    #: worker count is an execution strategy and reports are
+    #: worker-count-independent by contract.
+    parallel: Optional[ParallelConfig] = None
 
     @cached_property
     def key(self) -> ExperimentKey:
-        canonical = json.dumps(
-            {"scenario": self.scenario.to_dict(),
-             "cluster": self.cluster.config_hash(),
-             "revision": CACHE_REVISION},
-            sort_keys=True, separators=(",", ":"))
+        payload = {"scenario": self.scenario.to_dict(),
+                   "cluster": self.cluster.config_hash(),
+                   "revision": CACHE_REVISION}
+        # Folded in only when set, so pre-parallel specs keep their
+        # cache keys byte-identical.
+        if self.parallel is not None:
+            payload["parallel"] = self.parallel.to_dict()
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
         return ExperimentKey(self.cluster.label, self.scenario.label, digest)
 
     def execute(self) -> ClusterReport:
         """Run this cluster experiment in-process (fresh Environment)."""
+        if self.parallel is not None:
+            return ParallelClusterSession(
+                self.scenario, self.cluster, self.parallel).run()
         return ClusterSession(self.scenario, self.cluster).run()
 
 

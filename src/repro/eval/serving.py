@@ -23,8 +23,10 @@ from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
 from ..platform.config import PlatformConfig
+from ..serve.fastforward import FastForwardServingSession
 from ..serve.report import ServingReport
 from ..serve.session import ServingScenario, ServingSession
+from ..sim.fastforward import FastForwardConfig
 from .orchestrator import (
     CACHE_REVISION,
     ExperimentKey,
@@ -51,6 +53,10 @@ class ServingExperimentSpec:
 
     scenario: ServingScenario
     config: PlatformConfig
+    #: Optional steady-state fast-forward (None = exact engine).  An
+    #: *approximating* execution mode, so it folds into the cache key:
+    #: exact and fast-forwarded results never alias.
+    fastforward: Optional[FastForwardConfig] = None
 
     @cached_property
     def key(self) -> ExperimentKey:
@@ -58,16 +64,25 @@ class ServingExperimentSpec:
         # tenants, admission, ...), the platform config hash and the cache
         # revision — any change to the simulated behavior re-keys the
         # entry instead of serving a stale result.
-        canonical = json.dumps(
-            {"scenario": self.scenario.to_dict(),
-             "config": self.config.config_hash(),
-             "revision": CACHE_REVISION},
-            sort_keys=True, separators=(",", ":"))
+        payload: Dict[str, object] = {
+            "scenario": self.scenario.to_dict(),
+            "config": self.config.config_hash(),
+            "revision": CACHE_REVISION,
+        }
+        # Folded in only when set, so pre-fast-forward specs keep their
+        # cache keys byte-identical.
+        if self.fastforward is not None:
+            payload["fastforward"] = self.fastforward.to_dict()
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
         return ExperimentKey(self.config.system, self.scenario.label, digest)
 
     def execute(self) -> ServingReport:
         """Run this serving experiment in-process (fresh Environment)."""
+        if self.fastforward is not None:
+            return FastForwardServingSession(
+                self.scenario, self.config, self.fastforward).run()
         return ServingSession(self.scenario, self.config).run()
 
 

@@ -10,6 +10,7 @@ regression policy.
 
 from .regression import (
     ENGINE_SPEEDUP_THRESHOLD,
+    FASTFORWARD_SPEEDUP_THRESHOLD,
     Regression,
     Threshold,
     check_regression,
@@ -25,6 +26,7 @@ from .timers import Measurement, WallTimer, measure, measure_ab
 
 __all__ = [
     "ENGINE_SPEEDUP_THRESHOLD",
+    "FASTFORWARD_SPEEDUP_THRESHOLD",
     "Measurement",
     "PerfMetric",
     "PerfReport",

@@ -33,6 +33,11 @@ from .arrivals import (
     TraceArrivals,
 )
 from .backends import AcceleratorBackend, BaselineBackend, ServingBackend
+from .fastforward import (
+    FastForwardConfig,
+    FastForwardServingSession,
+    run_serving_fastforward,
+)
 from .frontend import ServingFrontend
 from .report import ServingReport
 from .request import Request, RequestRecord, RequestStatus
@@ -67,6 +72,9 @@ __all__ = [
     "AcceleratorBackend",
     "BaselineBackend",
     "ServingBackend",
+    "FastForwardConfig",
+    "FastForwardServingSession",
+    "run_serving_fastforward",
     "ServingFrontend",
     "ServingReport",
     "Request",

@@ -33,6 +33,9 @@ class ServingReport:
     per_tenant: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     energy_j: float = 0.0
     scheduler_stats: Dict[str, float] = field(default_factory=dict)
+    # Fast-forward provenance (engaged/refused + calibration facts); None
+    # on exact runs so pre-fast-forward reports keep their byte form.
+    fastforward: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors ------------------------------------------------
     def percentile_s(self, key: str) -> Optional[float]:
@@ -71,7 +74,7 @@ class ServingReport:
     # -- serialization --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict (JSON-safe) form for caching and goldens."""
-        return {
+        data: Dict[str, Any] = {
             "system": self.system,
             "workload": self.workload,
             "duration_s": self.duration_s,
@@ -89,6 +92,11 @@ class ServingReport:
             "energy_j": self.energy_j,
             "scheduler_stats": dict(self.scheduler_stats),
         }
+        # Emitted only when set: exact-engine reports (fast-forward off,
+        # the default) must stay byte-identical to their goldens.
+        if self.fastforward is not None:
+            data["fastforward"] = dict(self.fastforward)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ServingReport":
@@ -110,4 +118,6 @@ class ServingReport:
                         in data.get("per_tenant", {}).items()},
             energy_j=data.get("energy_j", 0.0),
             scheduler_stats=dict(data.get("scheduler_stats", {})),
+            fastforward=(dict(data["fastforward"])
+                         if data.get("fastforward") is not None else None),
         )

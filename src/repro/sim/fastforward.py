@@ -1,0 +1,233 @@
+"""Calibrated steady-state fast-forward: analytic time advancement.
+
+Event-by-event simulation spends the bulk of its wall-clock budget on
+work that, in equilibrium, is statistically featureless: once the arrival
+and service processes have settled, every further simulated second looks
+like the last one.  This module provides the generic machinery to detect
+that equilibrium and then *advance time analytically* — clocks, queue
+lengths and latency samples evolve through closed-form queue dynamics fed
+by service times measured on an exact warm-up window, instead of through
+millions of heap operations (SYSFLOW's stream-rewriting execution model
+is the inspiration: rewrite the event stream wholesale when its shape is
+known).
+
+Three pieces, all engine-agnostic:
+
+* :class:`FastForwardConfig` — the serializable knob (disabled by
+  default; exact runs stay byte-identical when off).
+* :class:`SteadyStateDetector` — decides, from warm-up service-time and
+  latency samples, whether the pipeline is stationary enough for the
+  analytic model to be trusted.  When it refuses, callers fall back to
+  the exact engine.
+* :class:`AnalyticServer` — a capacity-bounded multi-server queue
+  advanced request-at-a-time in O(log capacity), replacing the dispatch
+  loop, backend processes and timeout events of the exact path.
+
+The serving-layer session that wires these to the front-end/accelerator
+pipeline lives in :mod:`repro.serve.fastforward`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from heapq import heappop, heappush, heapreplace
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FastForwardConfig:
+    """Serializable fast-forward knob for serving-style runs.
+
+    ``enabled`` defaults to False: the exact engine remains the default
+    and its reports stay byte-identical.  ``warmup_s`` is the exact
+    simulation window the analytic model calibrates on; ``min_samples``
+    and ``rel_tol`` parameterize the steady-state detector (at least
+    that many warm-up completions, with first-half/second-half means
+    agreeing within the relative tolerance).
+    """
+
+    enabled: bool = False
+    warmup_s: float = 1.0
+    min_samples: int = 100
+    rel_tol: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.warmup_s <= 0:
+            raise ValueError("warmup_s must be positive")
+        if self.min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        if self.rel_tol <= 0:
+            raise ValueError("rel_tol must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (folds into experiment cache keys)."""
+        return {
+            "enabled": self.enabled,
+            "warmup_s": self.warmup_s,
+            "min_samples": self.min_samples,
+            "rel_tol": self.rel_tol,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FastForwardConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            enabled=bool(data.get("enabled", False)),
+            warmup_s=float(data.get("warmup_s", 1.0)),
+            min_samples=int(data.get("min_samples", 100)),
+            rel_tol=float(data.get("rel_tol", 0.25)),
+        )
+
+
+class SteadyStateDetector:
+    """Decides whether a warm-up window reached statistical equilibrium.
+
+    The test is deliberately conservative: the analytic model only pays
+    off when it is *trusted*, and a wrong engagement silently skews the
+    tail percentiles the serving reports exist to measure.  Engagement
+    requires
+
+    * at least ``min_samples`` warm-up completions (the empirical
+      service-time pool must be dense enough to resample from), and
+    * split-half stationarity of both the service times and the
+      end-to-end latencies, after deleting the initial transient (the
+      first half of the window, Welch/MSER style — queues start empty,
+      so the latency ramp while the backlog fills is expected and must
+      not be mistaken for instability): the means of the first and
+      second half of the *retained* samples agree within ``rel_tol``
+      relatively.  A queue that is still growing at the end of the
+      window shows up as a rising latency mean long before it shows in
+      the service times, so the latency check is what catches
+      overloaded (unstable) regimes.
+    """
+
+    def __init__(self, min_samples: int = 100, rel_tol: float = 0.25):
+        self.min_samples = min_samples
+        self.rel_tol = rel_tol
+
+    @staticmethod
+    def transient_cut(n: int) -> int:
+        """Index where the warm-up ramp is deemed over (first half cut)."""
+        return n // 2
+
+    def assess(self, service_samples: Sequence[float],
+               latency_samples: Sequence[float]) -> Tuple[bool, str]:
+        """(engage?, reason) for one warm-up window's completion data."""
+        n = len(service_samples)
+        if n < self.min_samples:
+            return False, (f"too few warm-up completions "
+                           f"({n} < {self.min_samples})")
+        cut = self.transient_cut(n)
+        if not self._halves_stable(service_samples[cut:]):
+            return False, "service times not stationary over warm-up"
+        if not self._halves_stable(latency_samples[cut:]):
+            return False, ("latencies not stationary over warm-up "
+                           "(backlog still growing or draining)")
+        return True, "steady"
+
+    def _halves_stable(self, values: Sequence[float]) -> bool:
+        half = len(values) // 2
+        first = sum(values[:half]) / half
+        second = sum(values[half:]) / (len(values) - half)
+        scale = max(abs(first), abs(second))
+        if scale == 0.0:
+            return True
+        return abs(second - first) <= self.rel_tol * scale
+
+
+class AnalyticServer:
+    """Capacity-bounded multi-server queue, advanced analytically.
+
+    Models the dispatch loop + backend of the exact path as ``capacity``
+    identical servers: a submitted request starts on the earliest-free
+    server (never before its arrival) and occupies it for its drawn
+    service time.  A min-heap of server-free times makes each submission
+    O(log capacity) — the entire analytic phase does less heap work per
+    *request* than the exact engine does per *event*.
+    """
+
+    def __init__(self, capacity: int, free_at: float):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._free = [free_at] * capacity
+        self.last_completion = free_at
+
+    def submit(self, arrival_s: float,
+               service_s: float) -> Tuple[float, float]:
+        """Serve one request; returns ``(start_s, completion_s)``."""
+        start = self._free[0]
+        if arrival_s > start:
+            start = arrival_s
+        done = start + service_s
+        heapreplace(self._free, done)
+        if done > self.last_completion:
+            self.last_completion = done
+        return start, done
+
+
+class ServiceTimeModel:
+    """Empirical service-time distributions measured on the warm-up.
+
+    Samples are pooled per ``(tenant, workload)`` key — the two axes the
+    kernel builder varies — with the global pool as fallback for pairs
+    the warm-up never produced.  Draws resample the measured empirical
+    distribution (no parametric fit to go wrong) through a dedicated
+    seeded RNG, so the analytic phase is deterministic per scenario seed.
+    """
+
+    def __init__(self, seed_token: str):
+        self._pools: Dict[Tuple[str, str], List[float]] = {}
+        self._all: List[float] = []
+        self._rng = random.Random(seed_token)
+
+    def observe(self, tenant: str, workload: str,
+                service_s: float) -> None:
+        """Add one measured warm-up service time."""
+        self._pools.setdefault((tenant, workload), []).append(service_s)
+        self._all.append(service_s)
+
+    @property
+    def sample_count(self) -> int:
+        """Total measured samples across all pools."""
+        return len(self._all)
+
+    def draw(self, tenant: str, workload: str) -> float:
+        """Resample one service time for the given request key."""
+        pool = self._pools.get((tenant, workload))
+        if not pool:
+            pool = self._all
+        return pool[self._rng.randrange(len(pool))]
+
+
+class CompletionFeed:
+    """Orders analytic completions by time for delayed observation.
+
+    The exact engine feeds the admission EWMA and the SLO reservoirs in
+    completion order; the analytic loop produces completions in arrival
+    order.  This tiny heap re-establishes completion order: push each
+    ``(done_s, payload)`` as it is computed, pop everything due before
+    the next arrival.
+    """
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, object]] = []
+        self._seq = 0
+
+    def push(self, done_s: float, payload: object) -> None:
+        """Register one analytic completion."""
+        self._seq += 1
+        heappush(self._heap, (done_s, self._seq, payload))
+
+    def pop_due(self, now_s: float) -> List[object]:
+        """Completions with ``done <= now``, in completion order."""
+        due: List[object] = []
+        heap = self._heap
+        while heap and heap[0][0] <= now_s:
+            due.append(heappop(heap)[2])
+        return due
+
+    def pop_all(self) -> List[object]:
+        """Drain every remaining completion, in completion order."""
+        return self.pop_due(float("inf"))
