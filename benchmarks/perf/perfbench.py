@@ -15,6 +15,11 @@ machine-readable snapshot tracked PR-over-PR at the repo root:
   baselined against the committed PR-5 full-scale snapshot rate.
 * ``cluster_requests_per_sec``     — two-device sharded serving run,
   baselined the same way.
+* ``serving_obs_requests_per_sec`` — the serving run with the PR-7
+  observability layer (lifecycle tracing + metrics bus) on, interleaved
+  A/B against the same run with it off, so the recorded ratio is the
+  obs overhead factor (disabled-path zero cost is enforced by tests,
+  not here).
 * ``simulated_requests_per_wall_second`` — the PR-6 headline: the same
   serving scenario run with steady-state fast-forward, interleaved A/B
   against the exact engine (the baseline), so the recorded ratio *is*
@@ -143,6 +148,24 @@ def serving_run(offered_rps: float, duration_s: float) -> float:
                                duration_s=duration_s, seed=11)
     config = PlatformConfig(input_scale=0.01)
     report = run_serving(scenario, config)
+    return float(report.offered)
+
+
+def serving_obs_run(offered_rps: float, duration_s: float) -> float:
+    """:func:`serving_run` with the full observability layer on.
+
+    Same scenario and seed, but the session records every span and runs
+    the metrics-bus sampler — paired against :func:`serving_run` so the
+    recorded ratio is the observability overhead factor.
+    """
+    from repro.obs import ObsConfig
+    from repro.platform.config import PlatformConfig
+    from repro.serve.session import ServingScenario, run_serving
+
+    scenario = ServingScenario(process="poisson", offered_rps=offered_rps,
+                               duration_s=duration_s, seed=11)
+    config = PlatformConfig(input_scale=0.01)
+    report = run_serving(scenario, config, obs=ObsConfig())
     return float(report.offered)
 
 
@@ -355,6 +378,21 @@ def build_report(quick: bool = False, repeats: int = 5) -> PerfReport:
     report.add(PerfMetric("serving_requests_per_sec", serving.rate,
                           "requests/s",
                           baseline=SERVING_SEED_BASELINE_RPS))
+
+    print(f"• serving: observability on vs off (240 rps x {serving_s:g}s)")
+    # Interleaved A/B so the recorded ratio is the tracing + metrics-bus
+    # overhead factor (1.0 = free; the disabled path is checked for
+    # byte-identical reports by the test suite, this pair tracks the
+    # *enabled* cost).
+    obs_on, obs_off = measure_ab(
+        "serving_obs_requests_per_sec",
+        lambda: serving_obs_run(240.0, serving_s),
+        "serving_obs_requests_per_sec_plain",
+        lambda: serving_run(240.0, serving_s),
+        repeats=2, warmup=0)
+    report.add(PerfMetric("serving_obs_requests_per_sec",
+                          obs_on.best_rate, "requests/s",
+                          baseline=obs_off.best_rate))
 
     print(f"• serving: fast-forward vs exact "
           f"(240 rps x {fastforward_s:g}s simulated)")

@@ -75,6 +75,23 @@ def test_end_to_end_metrics_carry_seed_baselines(quick_report):
         assert metric.ratio is not None and metric.ratio > 0
 
 
+def test_obs_overhead_metric_present_and_sane(quick_report):
+    # Observability on vs off, interleaved A/B: the ratio is the obs
+    # overhead factor.  The floor is deliberately loose — tracing plus
+    # the metrics-bus sampler legitimately costs something, the guard
+    # exists to catch a collapse (e.g. an accidental O(n^2) span path),
+    # not to pin the exact overhead on a jittery CI host.
+    obs = quick_report.get("serving_obs_requests_per_sec")
+    assert obs is not None, "missing metric serving_obs_requests_per_sec"
+    assert obs.value > 0
+    assert obs.baseline is not None and obs.baseline > 0
+    assert obs.ratio is not None
+    assert obs.ratio >= 0.3, (
+        f"observability overhead factor {obs.ratio:.2f}x — the "
+        f"instrumented run is more than 3x slower than plain; span or "
+        f"sampler hot-path regression?")
+
+
 def test_report_round_trips_through_disk(quick_report, tmp_path):
     path = quick_report.save(tmp_path / "BENCH_PERF.json")
     loaded = PerfReport.load(path)

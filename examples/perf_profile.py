@@ -12,11 +12,15 @@ Two modes:
 
 2. ``--diff OLD.json NEW.json`` — compare two ``BENCH_PERF.json``
    snapshots (e.g. the committed one vs. a fresh local run) with
-   ``repro.perf.diff_reports`` and flag regressions past the policy
-   tolerance (see PERFORMANCE.md):
+   ``repro.perf.diff_reports``: per-metric percent deltas, a ``!``
+   highlight on every metric past the regression threshold
+   (``--regress-threshold``, default the 15% policy tolerance of
+   PERFORMANCE.md), and exit status 1 when anything regressed:
 
        python benchmarks/perf/perfbench.py --output /tmp/now.json
        python examples/perf_profile.py --diff BENCH_PERF.json /tmp/now.json
+       python examples/perf_profile.py --diff old.json new.json \\
+           --regress-threshold 5
 """
 
 from __future__ import annotations
@@ -63,35 +67,49 @@ def time_serving_sweep() -> None:
         print(f"  {system:8s} swept: {knees}")
 
 
-def diff_snapshots(old_path: str, new_path: str) -> int:
+def diff_snapshots(old_path: str, new_path: str,
+                   regress_threshold_pct: float = 15.0) -> int:
     old = PerfReport.load(old_path)
     new = PerfReport.load(new_path)
+    tolerance = regress_threshold_pct / 100.0
+    regressions = check_regression(old, new, tolerance=tolerance)
+    regressed = {r.metric for r in regressions}
     print(f"old: {old_path} (created {old.created})")
     print(f"new: {new_path} (created {new.created})")
     print()
-    print(f"{'metric':38s} {'old':>14s} {'new':>14s} {'speedup':>8s}")
+    print(f"{'metric':38s} {'old':>14s} {'new':>14s} {'delta%':>8s} "
+          f"{'speedup':>8s}")
     for name, entry in diff_reports(old, new).items():
         # Snapshots from different PRs legitimately disagree on which
         # metrics exist; one-sided entries are labeled, never an error
         # (adding or retiring a benchmark is not a regression).
         if entry.get("only_in_old"):
             print(f"{name:38s} {entry['old']:>14,.2f} {'—':>14s} "
-                  f"{'removed':>8s}")
-        elif entry.get("only_in_new"):
+                  f"{'—':>8s} {'removed':>8s}")
+            continue
+        if entry.get("only_in_new"):
             print(f"{name:38s} {'—':>14s} {entry['new']:>14,.2f} "
-                  f"{'added':>8s}")
-        else:
-            speedup = entry.get("speedup")
-            shown = f"{speedup:.2f}x" if speedup is not None else "—"
-            print(f"{name:38s} {entry['old']:>14,.2f} "
-                  f"{entry['new']:>14,.2f} {shown:>8s}")
-    regressions = check_regression(old, new)
+                  f"{'—':>8s} {'added':>8s}")
+            continue
+        speedup = entry.get("speedup")
+        shown = f"{speedup:.2f}x" if speedup is not None else "—"
+        delta = ((entry["new"] - entry["old"]) / entry["old"] * 100.0
+                 if entry["old"] else None)
+        delta_shown = f"{delta:+.1f}%" if delta is not None else "—"
+        # Highlight metrics past the regression threshold — the same
+        # verdicts the exit status is computed from.
+        mark = " !" if name in regressed else ""
+        print(f"{name:38s} {entry['old']:>14,.2f} "
+              f"{entry['new']:>14,.2f} {delta_shown:>8s} "
+              f"{shown:>8s}{mark}")
     if regressions:
-        print("\nregressions past the 15% policy tolerance:")
+        print(f"\nregressions past the {regress_threshold_pct:g}% "
+              f"threshold:")
         for regression in regressions:
             print(f"  {regression}")
         return 1
-    print("\nno regressions past the 15% policy tolerance")
+    print(f"\nno regressions past the {regress_threshold_pct:g}% "
+          f"threshold")
     return 0
 
 
@@ -100,9 +118,16 @@ def main(argv=None) -> int:
     parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
                         help="compare two BENCH_PERF.json snapshots "
                              "instead of timing a sweep")
+    parser.add_argument("--regress-threshold", type=float, default=15.0,
+                        metavar="PCT",
+                        help="highlight metrics that regressed by more "
+                             "than PCT percent (default: 15, the "
+                             "PERFORMANCE.md policy tolerance)")
     args = parser.parse_args(argv)
+    if args.regress_threshold < 0:
+        parser.error("--regress-threshold must be non-negative")
     if args.diff:
-        return diff_snapshots(*args.diff)
+        return diff_snapshots(*args.diff, args.regress_threshold)
     time_serving_sweep()
     return 0
 

@@ -57,6 +57,14 @@ from .serve import (
     run_serving,
 )
 from .cluster import ClusterReport, ClusterSession, run_cluster
+from .obs import (
+    MetricsBus,
+    MetricsTimeline,
+    ObsConfig,
+    Tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -95,5 +103,11 @@ __all__ = [
     "ClusterReport",
     "ClusterSession",
     "run_cluster",
+    "MetricsBus",
+    "MetricsTimeline",
+    "ObsConfig",
+    "Tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..obs import CLUSTER_EDGE
 from ..platform.cluster import ClusterConfig
 from ..policy import build_policy
 from ..serve.request import Request, RequestRecord, RequestStatus
@@ -62,6 +63,11 @@ class ClusterDispatcher:
         self.cluster_rejected = 0    # arrivals with no routable device
         self.reroutes = 0            # backlog records moved off failed devices
         self.health_events: List[Tuple[float, int, str]] = []
+        # Observability (repro.obs): the shard front-ends record the
+        # per-device request lifecycle; the dispatcher only adds what
+        # never reaches a shard (cluster-edge rejections) and the
+        # cross-device moves (evict/reroute).
+        self._tracer = env.tracer
 
     # ------------------------------------------------------------------ #
     # Arrival side                                                        #
@@ -80,6 +86,15 @@ class ClusterDispatcher:
                                    status=RequestStatus.REJECTED)
             self.cluster_rejected += 1
             self.fleet.on_rejected(request.tenant)
+            tracer = self._tracer
+            if tracer is not None:
+                # Edge rejections never reach a shard front-end, so the
+                # dispatcher records both lifecycle spans itself.
+                now = self.env.now
+                tracer.span(now, "arrival", request.request_id,
+                            request.tenant, CLUSTER_EDGE, request.workload)
+                tracer.span(now, "reject", request.request_id,
+                            request.tenant, CLUSTER_EDGE)
             return record
         shard = self.policy.select(request, routable)
         record = shard.frontend.submit(request)
@@ -127,12 +142,22 @@ class ClusterDispatcher:
         evicted = failed.frontend.evict_queued()
         if not evicted:
             return
+        tracer = self._tracer
+        now = self.env.now
         targets = self.routable_shards()
         if not targets:
             # Nowhere to go: the failing device must drain its own backlog
             # (restore its capacity so the dispatch loop is not wedged).
             failed.frontend.capacity_limit = None
             for record in evicted:
+                if tracer is not None:
+                    # Self-requeue: evicted and rerouted to itself (not
+                    # counted in ``reroutes``, matching the counter).
+                    rid = record.request.request_id
+                    tenant = record.request.tenant
+                    tracer.span(now, "evict", rid, tenant, failed.index)
+                    tracer.span(now, "reroute", rid, tenant,
+                                failed.index, failed.index)
                 failed.frontend.enqueue_record(record)
             return
         failed.rerouted_out += len(evicted)
@@ -140,4 +165,11 @@ class ClusterDispatcher:
         for record in evicted:
             target = self.policy.select(record.request, targets)
             target.rerouted_in += 1
+            record.reroutes += 1
+            if tracer is not None:
+                rid = record.request.request_id
+                tenant = record.request.tenant
+                tracer.span(now, "evict", rid, tenant, failed.index)
+                tracer.span(now, "reroute", rid, tenant,
+                            target.index, failed.index)
             target.frontend.enqueue_record(record)

@@ -26,6 +26,13 @@ ever sees epoch-boundary snapshots, and per-shard RNG seeding matches
 the serial session.  Epoch length is therefore *semantic* (it changes
 when routing observes queue state) and folds into experiment cache
 keys; the worker count is pure execution strategy and does not.
+
+Observability note: this runner does not support :mod:`repro.obs` —
+per-worker tracers and metric samples cannot be stitched into one
+coherent fleet timeline across process boundaries.  Runs that opt into
+observability use the serial shared-environment session instead
+(:class:`~repro.eval.cluster.ClusterExperimentSpec` makes that switch
+automatically).
 """
 
 from __future__ import annotations

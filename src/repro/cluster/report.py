@@ -41,6 +41,9 @@ class ClusterReport:
     devices: List[ServingReport] = field(default_factory=list)
     placement_stats: Dict[str, Any] = field(default_factory=dict)
     health_events: List[List[Any]] = field(default_factory=list)
+    # Metrics-bus timeline (repro.obs); None unless the run opted into
+    # observability, so default runs keep their byte form.
+    metrics: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors ------------------------------------------------
     def percentile_s(self, key: str) -> Optional[float]:
@@ -82,7 +85,7 @@ class ClusterReport:
     # -- serialization --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict (JSON-safe) form for caching and goldens."""
-        return {
+        data: Dict[str, Any] = {
             "system": self.system,
             "workload": self.workload,
             "placement": self.placement,
@@ -104,6 +107,11 @@ class ClusterReport:
             "placement_stats": dict(self.placement_stats),
             "health_events": [list(event) for event in self.health_events],
         }
+        # Emitted only when set: runs without observability must stay
+        # byte-identical to their goldens.
+        if self.metrics is not None:
+            data["metrics"] = dict(self.metrics)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ClusterReport":
@@ -131,4 +139,6 @@ class ClusterReport:
             placement_stats=dict(data.get("placement_stats", {})),
             health_events=[list(event)
                            for event in data.get("health_events", [])],
+            metrics=(dict(data["metrics"])
+                     if data.get("metrics") is not None else None),
         )

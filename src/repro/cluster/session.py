@@ -13,8 +13,9 @@ results into a :class:`~repro.cluster.report.ClusterReport`.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..obs import MetricsBus, ObsConfig, Tracer, wire_cluster_metrics
 from ..platform.cluster import ClusterConfig, FaultSpec
 from ..serve.report import ServingReport
 from ..serve.session import (
@@ -34,11 +35,24 @@ from .report import ClusterReport
 
 
 class ClusterSession:
-    """Runs one :class:`ServingScenario` on one configured fleet."""
+    """Runs one :class:`ServingScenario` on one configured fleet.
 
-    def __init__(self, scenario: ServingScenario, cluster: ClusterConfig):
+    ``obs`` opts into the observability layer (:mod:`repro.obs`): with
+    tracing on, every shard's front-end/backend spans are tagged with its
+    device index and the dispatcher adds edge-reject and evict/reroute
+    spans; with metrics on, the fleet instrument set (per-shard
+    outstanding/queue depth/energy plus fleet rates) samples into a
+    timeline serialized as the report's ``metrics`` field.  ``obs=None``
+    (the default) is the byte-identical pre-observability path.
+    """
+
+    def __init__(self, scenario: ServingScenario, cluster: ClusterConfig,
+                 obs: Optional[ObsConfig] = None):
         self.scenario = scenario
         self.cluster = cluster
+        self.obs = obs
+        self.tracer: Optional[Tracer] = None
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
     # Fleet assembly                                                      #
@@ -83,13 +97,30 @@ class ClusterSession:
     def run(self) -> ClusterReport:
         """Execute the scenario on the fleet; returns the report."""
         scenario = self.scenario
+        obs = self.obs
         env = Environment()
+        if obs is not None and obs.tracing:
+            # Attached before the shards are built, so every front-end
+            # and backend captures the tracer.
+            self.tracer = Tracer(obs.trace_capacity)
+            env.tracer = self.tracer
         tenants = [t.name for t in scenario.tenants]
         fleet = SLOTracker(tenants,
                            reservoir_capacity=scenario.reservoir_capacity,
                            seed=scenario.seed)
         shards = self._build_shards(env, fleet)
+        if self.tracer is not None:
+            for shard in shards:
+                # Tag every span with the shard's device index so trace
+                # tracks separate per device.
+                shard.frontend.trace_device = shard.index
+                shard.backend.bind_trace_device(shard.index)
         dispatcher = ClusterDispatcher(env, shards, self.cluster, fleet)
+        bus: Optional[MetricsBus] = None
+        if obs is not None and obs.metrics:
+            bus = MetricsBus(cadence_s=obs.cadence_s)
+            wire_cluster_metrics(bus, fleet, shards, dispatcher)
+            bus.install(env)
         requests = scenario.make_arrivals().generate(scenario.duration_s)
         for shard in shards:
             shard.backend.start()
@@ -104,6 +135,12 @@ class ClusterSession:
 
         drive_until_settled(env, fleet, len(requests), scenario.duration_s,
                             check_fleet_health, label="cluster run")
+        if bus is not None:
+            # Final sample at settle time, then retire the sampler
+            # (de-scheduling its pending tick) so the drain loop below
+            # terminates — and ends at the same clock reading as an
+            # unobserved run.
+            bus.stop(env)
         for shard in shards:
             shard.backend.finish()
         # Drain background work (Storengine flush/GC) on every device so
@@ -111,7 +148,11 @@ class ClusterSession:
         while env.peek() != float("inf"):
             env.step()
         check_fleet_health()
-        return self._assemble_report(env, shards, dispatcher, fleet)
+        report = self._assemble_report(env, shards, dispatcher, fleet)
+        if bus is not None:
+            self.metrics = bus.timeline
+            report.metrics = bus.timeline.to_dict()
+        return report
 
     # ------------------------------------------------------------------ #
     # Report assembly                                                     #
@@ -166,6 +207,7 @@ class ClusterSession:
 
 
 def run_cluster(scenario: ServingScenario,
-                cluster: ClusterConfig) -> ClusterReport:
+                cluster: ClusterConfig,
+                obs: Optional[ObsConfig] = None) -> ClusterReport:
     """Convenience wrapper: run one scenario on one fleet."""
-    return ClusterSession(scenario, cluster).run()
+    return ClusterSession(scenario, cluster, obs=obs).run()

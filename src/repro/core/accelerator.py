@@ -219,6 +219,10 @@ class FlashAbacusAccelerator:
         self._serving = False
         self._service_procs: List[Any] = []
         self._completion_listeners: List[Callable[[Kernel, float], None]] = []
+        # Observability (repro.obs): shard index stamped on screen span
+        # events when a tracer is attached to the environment; 0 for
+        # single-device runs.
+        self.trace_device = 0
 
     # ------------------------------------------------------------------ #
     # Workload execution                                                  #
@@ -395,6 +399,8 @@ class FlashAbacusAccelerator:
         kernel = chain.kernel
         screen = screen_node.screen
         regions = self._kernel_regions[kernel.kernel_id]
+        tracer = self.env.tracer
+        screen_begin = self.env.now if tracer is not None else 0.0
         self.scheduler.chain.mark_running(screen_node, lwp.lwp_id,
                                           self.env.now)
         # 1. Bring the screen's slice of the data section into DDR3L.
@@ -416,6 +422,13 @@ class FlashAbacusAccelerator:
         self.scheduler.chain.mark_done(chain, screen_node, self.env.now)
         lwp.screens_executed += 1
         self.screens_executed += 1
+        if tracer is not None:
+            # Screen spans key on kernel.instance — the request id in
+            # serving runs — never kernel_id, whose process-global
+            # counter would break same-seed trace determinism.
+            tracer.span(self.env.now, "screen", kernel.instance,
+                        kernel.name, self.trace_device,
+                        (lwp.lwp_id, screen_begin))
         if chain.complete and self._completion_listeners:
             # True exactly once, after the kernel's final screen.
             for listener in list(self._completion_listeners):

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 from ..cluster.parallel import ParallelClusterSession, ParallelConfig
 from ..cluster.report import ClusterReport
 from ..cluster.session import ClusterSession
+from ..obs import ObsConfig
 from ..platform.cluster import ClusterConfig
 from ..platform.config import PlatformConfig
 from ..serve.session import ServingScenario
@@ -53,6 +54,10 @@ class ClusterExperimentSpec:
     #: worker count is an execution strategy and reports are
     #: worker-count-independent by contract.
     parallel: Optional[ParallelConfig] = None
+    #: Optional observability (None = no tracing/metrics).  Changes the
+    #: report payload (the ``metrics`` timeline), so it folds into the
+    #: cache key: instrumented and plain results never alias.
+    obs: Optional[ObsConfig] = None
 
     @cached_property
     def key(self) -> ExperimentKey:
@@ -63,6 +68,8 @@ class ClusterExperimentSpec:
         # cache keys byte-identical.
         if self.parallel is not None:
             payload["parallel"] = self.parallel.to_dict()
+        if self.obs is not None:
+            payload["obs"] = self.obs.to_dict()
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
@@ -70,10 +77,18 @@ class ClusterExperimentSpec:
 
     def execute(self) -> ClusterReport:
         """Run this cluster experiment in-process (fresh Environment)."""
+        if self.obs is not None and self.obs.enabled:
+            # Observability needs the serial shared-environment session:
+            # the epoch-parallel strategy runs devices in worker
+            # processes, whose tracers/metric samples could not be
+            # stitched into one coherent fleet timeline.
+            return ClusterSession(self.scenario, self.cluster,
+                                  obs=self.obs).run()
         if self.parallel is not None:
             return ParallelClusterSession(
                 self.scenario, self.cluster, self.parallel).run()
-        return ClusterSession(self.scenario, self.cluster).run()
+        return ClusterSession(self.scenario, self.cluster,
+                              obs=self.obs).run()
 
 
 @dataclass
@@ -91,9 +106,16 @@ class ScalingPoint:
     p99_s: Optional[float]
     energy_j: float
     reroutes: int
+    #: Fast-forward provenance rolled up across the fleet's per-device
+    #: reports: None when no device carries an annotation, otherwise
+    #: "N/M devices engaged".
+    fastforward: Optional[str] = None
 
     @classmethod
     def from_report(cls, report: ClusterReport) -> "ScalingPoint":
+        annotated = [d.fastforward for d in report.devices
+                     if d.fastforward is not None]
+        engaged = sum(1 for a in annotated if a.get("engaged"))
         return cls(
             device_count=report.device_count,
             offered_rps=report.offered_rps,
@@ -106,6 +128,8 @@ class ScalingPoint:
             p99_s=report.p99_s,
             energy_j=report.energy_j,
             reroutes=report.reroutes,
+            fastforward=(f"{engaged}/{len(report.devices)} devices engaged"
+                         if annotated else None),
         )
 
 

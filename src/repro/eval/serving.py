@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import ObsConfig
 from ..platform.config import PlatformConfig
 from ..serve.fastforward import FastForwardServingSession
 from ..serve.report import ServingReport
@@ -57,6 +58,10 @@ class ServingExperimentSpec:
     #: *approximating* execution mode, so it folds into the cache key:
     #: exact and fast-forwarded results never alias.
     fastforward: Optional[FastForwardConfig] = None
+    #: Optional observability (None = no tracing/metrics).  Changes the
+    #: report payload (the ``metrics`` timeline), so it folds into the
+    #: cache key: instrumented and plain results never alias.
+    obs: Optional[ObsConfig] = None
 
     @cached_property
     def key(self) -> ExperimentKey:
@@ -73,6 +78,8 @@ class ServingExperimentSpec:
         # cache keys byte-identical.
         if self.fastforward is not None:
             payload["fastforward"] = self.fastforward.to_dict()
+        if self.obs is not None:
+            payload["obs"] = self.obs.to_dict()
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
@@ -82,8 +89,10 @@ class ServingExperimentSpec:
         """Run this serving experiment in-process (fresh Environment)."""
         if self.fastforward is not None:
             return FastForwardServingSession(
-                self.scenario, self.config, self.fastforward).run()
-        return ServingSession(self.scenario, self.config).run()
+                self.scenario, self.config, self.fastforward,
+                obs=self.obs).run()
+        return ServingSession(self.scenario, self.config,
+                              obs=self.obs).run()
 
 
 @dataclass
@@ -100,6 +109,9 @@ class SaturationPoint:
     p50_s: Optional[float]
     p95_s: Optional[float]
     p99_s: Optional[float]
+    #: Fast-forward provenance: None for plain exact runs, "engaged"
+    #: when the analytic cruise ran, "exact (<reason>)" on refusals.
+    fastforward: Optional[str] = None
 
     @classmethod
     def from_report(cls, nominal_rps: float,
@@ -115,7 +127,21 @@ class SaturationPoint:
             p50_s=report.p50_s,
             p95_s=report.p95_s,
             p99_s=report.p99_s,
+            fastforward=describe_fastforward(report.fastforward),
         )
+
+
+def describe_fastforward(annotation) -> Optional[str]:
+    """One-word-ish summary of a report's ``fastforward`` annotation.
+
+    ``None`` in, ``None`` out (an exact run that never considered
+    fast-forwarding); otherwise ``"engaged"`` or ``"exact (<reason>)"``.
+    """
+    if annotation is None:
+        return None
+    if annotation.get("engaged"):
+        return "engaged"
+    return f"exact ({annotation.get('reason', 'refused')})"
 
 
 def sweep_specs(rates: Sequence[float],

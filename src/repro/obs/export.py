@@ -1,0 +1,255 @@
+"""Chrome ``trace_event`` export of a recorded span trace.
+
+:func:`to_chrome_trace` folds the flat span-event stream of a
+:class:`~repro.obs.trace.Tracer` into the JSON object format Perfetto
+and ``chrome://tracing`` load directly:
+
+* one *process* track per tenant, carrying the per-request async
+  lifecycle (``b``/``e`` pairs keyed by request id) and a ``queued``
+  slice thread (admit → dispatch);
+* one *process* track per device, carrying ``service`` slices
+  (dispatch → complete), ``scheduler`` slices (kernel enters the
+  on-device scheduler → final screen) and one thread per LWP with the
+  individual screen executions;
+* instant events for evictions and reroutes on the device that fails /
+  adopts the backlog.
+
+Timestamps convert to microseconds (the trace_event unit).  Event
+construction order is a pure function of the recorded span order, so the
+export is byte-deterministic for a deterministic trace
+(``json.dumps(..., sort_keys=True)`` of two same-seed runs compares
+equal).  :func:`validate_chrome_trace` is the schema check the CI trace
+artifact gates on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .trace import CLUSTER_EDGE, SpanEvent, Tracer
+
+#: pid layout: tenants count up from 1, devices from 1000 (the cluster
+#: edge pseudo-device sits at 999).
+_TENANT_PID_BASE = 1
+_DEVICE_PID_BASE = 1000
+
+_US = 1e6   # seconds -> trace_event microseconds
+
+
+def _device_pid(device: int) -> int:
+    return _DEVICE_PID_BASE + device
+
+
+def _device_name(device: int) -> str:
+    return "cluster-edge" if device == CLUSTER_EDGE else f"device{device}"
+
+
+def to_chrome_trace(trace: Union[Tracer, Iterable[SpanEvent]],
+                    label: str = "repro") -> Dict[str, Any]:
+    """Build the Chrome trace_event JSON object for one recorded trace."""
+    events = list(trace.events if isinstance(trace, Tracer) else trace)
+    out: List[Dict[str, Any]] = []
+
+    # -- fold the flat stream per request / per kernel --------------------
+    requests: Dict[int, Dict[str, Any]] = {}
+    kernels: Dict[int, Dict[str, Any]] = {}
+    tenants: Dict[str, None] = {}      # insertion-ordered set
+    devices: Dict[int, None] = {}
+    for t, phase, rid, tenant, device, aux in events:
+        if phase == "screen":
+            devices.setdefault(device, None)
+            continue
+        tenants.setdefault(tenant, None)
+        devices.setdefault(device, None)
+        req = requests.setdefault(rid, {"tenant": tenant})
+        if phase == "arrival":
+            req["arrival"] = t
+            req["workload"] = aux
+        elif phase == "admit":
+            req["admit"] = t
+        elif phase == "reject":
+            req["reject"] = t
+            req["reject_device"] = device
+        elif phase == "dispatch":
+            req["dispatch"] = t
+            req["device"] = device
+        elif phase in ("service_begin", "kernel_begin", "kernel_end"):
+            kernel = kernels.setdefault(aux, {"rid": rid, "tenant": tenant,
+                                              "device": device})
+            kernel[phase] = t
+        elif phase == "complete":
+            req["complete"] = t
+            req["device"] = device
+        elif phase == "evict":
+            req.setdefault("evicts", []).append((t, device))
+        elif phase == "reroute":
+            req.setdefault("reroutes", []).append((t, device, aux))
+
+    tenant_pid = {tenant: _TENANT_PID_BASE + index
+                  for index, tenant in enumerate(sorted(tenants))}
+
+    # -- metadata: named tracks -------------------------------------------
+    for tenant in sorted(tenants):
+        pid = tenant_pid[tenant]
+        out.append({"ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": f"tenant:{tenant}"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": 0, "args": {"name": "lifecycle"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": 1, "args": {"name": "queued"}})
+    lwp_tids: Dict[int, Dict[int, None]] = {}
+    for t, phase, rid, tenant, device, aux in events:
+        if phase == "screen":
+            lwp_tids.setdefault(device, {}).setdefault(aux[0], None)
+    for device in sorted(devices):
+        pid = _device_pid(device)
+        out.append({"ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": _device_name(device)}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": 0, "args": {"name": "service"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": 1, "args": {"name": "scheduler"}})
+        for lwp in sorted(lwp_tids.get(device, ())):
+            out.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": 100 + lwp,
+                        "args": {"name": f"lwp{lwp}"}})
+
+    # -- per-request lifecycle + slices -----------------------------------
+    for rid in sorted(requests):
+        req = requests[rid]
+        tenant = req["tenant"]
+        pid = tenant_pid[tenant]
+        name = req.get("workload") or "request"
+        arrival = req.get("arrival")
+        terminal: Optional[float] = req.get("complete", req.get("reject"))
+        if arrival is not None and terminal is not None:
+            outcome = "complete" if "complete" in req else "reject"
+            out.append({"ph": "b", "cat": "request", "id": rid,
+                        "name": name, "pid": pid, "tid": 0,
+                        "ts": arrival * _US})
+            out.append({"ph": "e", "cat": "request", "id": rid,
+                        "name": name, "pid": pid, "tid": 0,
+                        "ts": terminal * _US,
+                        "args": {"outcome": outcome}})
+        admit = req.get("admit")
+        dispatch = req.get("dispatch")
+        if admit is not None and dispatch is not None:
+            out.append({"ph": "X", "cat": "queue", "name": name,
+                        "pid": pid, "tid": 1, "ts": admit * _US,
+                        "dur": max(0.0, (dispatch - admit) * _US),
+                        "args": {"request_id": rid}})
+        complete = req.get("complete")
+        if dispatch is not None and complete is not None:
+            out.append({"ph": "X", "cat": "service", "name": name,
+                        "pid": _device_pid(req["device"]), "tid": 0,
+                        "ts": dispatch * _US,
+                        "dur": max(0.0, (complete - dispatch) * _US),
+                        "args": {"request_id": rid, "tenant": tenant}})
+        for t, device in req.get("evicts", ()):
+            out.append({"ph": "i", "cat": "health", "name": "evict",
+                        "pid": _device_pid(device), "tid": 0,
+                        "ts": t * _US, "s": "t",
+                        "args": {"request_id": rid}})
+        for t, device, source in req.get("reroutes", ()):
+            out.append({"ph": "i", "cat": "health", "name": "reroute",
+                        "pid": _device_pid(device), "tid": 0,
+                        "ts": t * _US, "s": "t",
+                        "args": {"request_id": rid, "from": source}})
+
+    # -- per-kernel scheduler slices --------------------------------------
+    for kernel_id in sorted(kernels):
+        kernel = kernels[kernel_id]
+        begin = kernel.get("kernel_begin")
+        end = kernel.get("kernel_end")
+        if begin is None or end is None:
+            continue
+        out.append({"ph": "X", "cat": "kernel", "name": f"k{kernel_id}",
+                    "pid": _device_pid(kernel["device"]), "tid": 1,
+                    "ts": begin * _US,
+                    "dur": max(0.0, (end - begin) * _US),
+                    "args": {"request_id": kernel["rid"],
+                             "tenant": kernel["tenant"]}})
+
+    # -- screen executions, one thread per LWP ----------------------------
+    for t, phase, rid, tenant, device, aux in events:
+        if phase != "screen":
+            continue
+        lwp, begin = aux
+        out.append({"ph": "X", "cat": "screen", "name": tenant,
+                    "pid": _device_pid(device), "tid": 100 + lwp,
+                    "ts": begin * _US,
+                    "dur": max(0.0, (t - begin) * _US),
+                    "args": {"kernel_id": rid}})
+
+    data: Dict[str, Any] = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label},
+    }
+    if isinstance(trace, Tracer):
+        data["otherData"]["recorded"] = trace.recorded
+        data["otherData"]["dropped"] = trace.dropped
+    return data
+
+
+_ALLOWED_PHASES = frozenset("XbeiM")
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Schema-check one exported trace; returns problems ([] = valid).
+
+    Checks the subset of the trace_event format this exporter emits:
+    the top-level object shape, per-event required keys by phase,
+    non-negative durations and balanced async begin/end pairs.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["top level must be an object with a 'traceEvents' list"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    open_async: Dict[Any, int] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _ALLOWED_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            if "name" not in (event.get("args") or {}):
+                problems.append(f"{where}: metadata without args.name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' needs non-negative 'dur'")
+        if ph in "be":
+            if "id" not in event or "cat" not in event:
+                problems.append(f"{where}: async event needs 'id'+'cat'")
+                continue
+            key = (event["cat"], event["id"])
+            open_async[key] = open_async.get(key, 0) \
+                + (1 if ph == "b" else -1)
+    for (cat, async_id), balance in sorted(open_async.items()):
+        if balance != 0:
+            problems.append(
+                f"async {cat}:{async_id} begin/end unbalanced "
+                f"({balance:+d})")
+    return problems
+
+
+def write_chrome_trace(path, data: Dict[str, Any]) -> None:
+    """Write an exported trace as canonical (byte-stable) JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")

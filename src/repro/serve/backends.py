@@ -38,9 +38,20 @@ class ServingBackend:
         self.in_flight = 0
         self.dispatched = 0
         self._procs: List = []
+        # Observability (repro.obs): captured from the environment in
+        # start() — sessions attach a tracer before starting the backend
+        # — and every span site guards on None.  ``trace_device``
+        # distinguishes shards in cluster traces.
+        self._tracer = None
+        self.trace_device = 0
 
     def start(self) -> None:
         """Called once before the first dispatch."""
+        self._tracer = self.env.tracer
+
+    def bind_trace_device(self, device: int) -> None:
+        """Tag this backend's span events with shard index ``device``."""
+        self.trace_device = device
 
     def dispatch(self, record: RequestRecord,
                  on_complete: CompletionCallback) -> None:
@@ -85,7 +96,13 @@ class AcceleratorBackend(ServingBackend):
 
     def start(self) -> None:
         """Enter service mode on the accelerator."""
+        super().start()
         self.accelerator.begin_service()
+
+    def bind_trace_device(self, device: int) -> None:
+        """Tag backend *and* accelerator span events with the shard."""
+        super().bind_trace_device(device)
+        self.accelerator.trace_device = device
 
     def dispatch(self, record: RequestRecord,
                  on_complete: CompletionCallback) -> None:
@@ -94,8 +111,31 @@ class AcceleratorBackend(ServingBackend):
         self._pending[kernel.kernel_id] = (record, on_complete)
         self.in_flight += 1
         self.dispatched += 1
+        tracer = self._tracer
+        if tracer is None:
+            # The untraced hot path: identical to pre-observability code.
+            self._procs.append(
+                self.env.process(self.accelerator.submit_kernel(kernel)))
+            return
+        # Kernel spans correlate via kernel.instance (the request id the
+        # factory stamped), not kernel_id: that counter is process-global
+        # and would break same-seed trace determinism within a process.
+        tracer.span(self.env.now, "service_begin",
+                    record.request.request_id, record.request.tenant,
+                    self.trace_device, kernel.instance)
         self._procs.append(
-            self.env.process(self.accelerator.submit_kernel(kernel)))
+            self.env.process(self._traced_submit(kernel, record, tracer)))
+
+    def _traced_submit(self, kernel: Kernel, record: RequestRecord,
+                       tracer):
+        # Same process shape as the untraced path (one process driving
+        # submit_kernel's yields); the extra frame only exists when a
+        # tracer is attached.  The span lands after the PCIe offload
+        # sequence, i.e. when the kernel enters the on-device scheduler.
+        yield from self.accelerator.submit_kernel(kernel)
+        tracer.span(self.env.now, "kernel_begin",
+                    record.request.request_id, record.request.tenant,
+                    self.trace_device, kernel.instance)
 
     def _on_kernel_complete(self, kernel: Kernel, now: float) -> None:
         entry = self._pending.pop(kernel.kernel_id, None)
@@ -103,6 +143,11 @@ class AcceleratorBackend(ServingBackend):
             return
         record, on_complete = entry
         self.in_flight -= 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span(now, "kernel_end", record.request.request_id,
+                        record.request.tenant, self.trace_device,
+                        kernel.instance)
         on_complete(record, now)
 
     def finish(self) -> None:
@@ -151,8 +196,22 @@ class BaselineBackend(ServingBackend):
     def _serve(self, record: RequestRecord,
                on_complete: CompletionCallback):
         kernel = self.kernel_factory(record.request)
+        tracer = self._tracer
+        if tracer is not None:
+            # The serial baseline has no offload/scheduler split:
+            # service and kernel both begin at dispatch time.
+            rid = record.request.request_id
+            tenant = record.request.tenant
+            tracer.span(self.env.now, "service_begin", rid, tenant,
+                        self.trace_device, kernel.instance)
+            tracer.span(self.env.now, "kernel_begin", rid, tenant,
+                        self.trace_device, kernel.instance)
         yield from self.system.serve_kernel(kernel)
         self.in_flight -= 1
+        if tracer is not None:
+            tracer.span(self.env.now, "kernel_end",
+                        record.request.request_id, record.request.tenant,
+                        self.trace_device, kernel.instance)
         on_complete(record, self.env.now)
 
     @property

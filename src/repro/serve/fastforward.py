@@ -130,8 +130,9 @@ class FastForwardServingSession(ServingSession):
     """ServingSession with calibrated steady-state fast-forward."""
 
     def __init__(self, scenario: ServingScenario, config: PlatformConfig,
-                 fastforward: Optional[FastForwardConfig] = None):
-        super().__init__(scenario, config)
+                 fastforward: Optional[FastForwardConfig] = None,
+                 obs=None):
+        super().__init__(scenario, config, obs=obs)
         self.fastforward = fastforward if fastforward is not None \
             else FastForwardConfig(enabled=True)
 
@@ -161,6 +162,12 @@ class FastForwardServingSession(ServingSession):
     def _static_refusal(self) -> Optional[str]:
         """Scenario-level refusals, decided before any simulation."""
         scenario = self.scenario
+        if self.obs is not None and self.obs.enabled:
+            # The analytic cruise schedules no events, so there is
+            # nothing to trace or sample — observability forces the
+            # exact engine (which the fallback run then instruments).
+            return ("observability (tracing/metrics bus) requires the "
+                    "exact engine")
         if scenario.process != "poisson":
             return (f"arrival process {scenario.process!r} is not "
                     f"stationary (only 'poisson' engages)")
@@ -295,11 +302,13 @@ class FastForwardServingSession(ServingSession):
 def run_serving_fastforward(
         scenario: ServingScenario,
         config: Optional[PlatformConfig] = None,
-        fastforward: Optional[FastForwardConfig] = None) -> ServingReport:
+        fastforward: Optional[FastForwardConfig] = None,
+        obs=None) -> ServingReport:
     """Convenience wrapper: one scenario, fast-forward enabled."""
     if config is None:
         config = PlatformConfig()
-    return FastForwardServingSession(scenario, config, fastforward).run()
+    return FastForwardServingSession(scenario, config, fastforward,
+                                     obs=obs).run()
 
 
 __all__ = [

@@ -54,6 +54,16 @@ class ServingFrontend:
         # Optional derating of the backend's dispatch capacity (the
         # cluster layer's slow/failed-device model); None = full capacity.
         self.capacity_limit: Optional[int] = None
+        # Observability (repro.obs): the tracer is captured from the
+        # environment at construction (sessions attach it before building
+        # the front-end) and every span site guards on None, so untraced
+        # runs pay a single comparison per arrival/dispatch/completion.
+        # ``trace_device`` distinguishes shards in cluster traces;
+        # ``obs_latency`` is the metrics bus's completion-latency
+        # histogram hook.
+        self._tracer = env.tracer
+        self.trace_device = 0
+        self.obs_latency = None
         self._wake: Event = env.event()
         self._dispatcher = env.process(self._dispatch_loop())
 
@@ -91,12 +101,22 @@ class ServingFrontend:
         record = RequestRecord(request=request)
         self.records.append(record)
         self.tracker.on_offered(request.tenant)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span(self.env.now, "arrival", request.request_id,
+                        request.tenant, self.trace_device, request.workload)
         if not self.admission.admit(request, self):
             record.status = RequestStatus.REJECTED
             self.tracker.on_rejected(request.tenant)
+            if tracer is not None:
+                tracer.span(self.env.now, "reject", request.request_id,
+                            request.tenant, self.trace_device)
             return record
         record.admitted_at = self.env.now
         self.tracker.on_admitted(request.tenant)
+        if tracer is not None:
+            tracer.span(self.env.now, "admit", request.request_id,
+                        request.tenant, self.trace_device)
         self.queues[request.tenant].append(record)
         self._queued_total += 1
         self._kick()
@@ -163,12 +183,17 @@ class ServingFrontend:
         backend = self.backend
         dispatch = backend.dispatch
         on_complete = self._on_complete
+        tracer = self._tracer
         while True:
             while (backend.in_flight < self.dispatch_capacity
                    and self._queued_total > 0):
                 record = self._pop_next()
                 record.dispatched_at = self.env.now
                 record.status = RequestStatus.RUNNING
+                if tracer is not None:
+                    tracer.span(self.env.now, "dispatch",
+                                record.request.request_id,
+                                record.request.tenant, self.trace_device)
                 dispatch(record, on_complete)
             if self.drained:
                 return
@@ -178,6 +203,12 @@ class ServingFrontend:
         record.completed_at = now
         record.status = RequestStatus.COMPLETED
         self.tracker.on_completed(record)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span(now, "complete", record.request.request_id,
+                        record.request.tenant, self.trace_device)
+        if self.obs_latency is not None:
+            self.obs_latency.observe(record.latency_s)
         service = record.service_s
         if service is not None and service > 0:
             self.admission.observe_service_time(service)

@@ -36,6 +36,9 @@ class ServingReport:
     # Fast-forward provenance (engaged/refused + calibration facts); None
     # on exact runs so pre-fast-forward reports keep their byte form.
     fastforward: Optional[Dict[str, Any]] = None
+    # Metrics-bus timeline (repro.obs); None unless the run opted into
+    # observability, so default runs keep their byte form.
+    metrics: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors ------------------------------------------------
     def percentile_s(self, key: str) -> Optional[float]:
@@ -96,6 +99,8 @@ class ServingReport:
         # the default) must stay byte-identical to their goldens.
         if self.fastforward is not None:
             data["fastforward"] = dict(self.fastforward)
+        if self.metrics is not None:
+            data["metrics"] = dict(self.metrics)
         return data
 
     @classmethod
@@ -120,4 +125,6 @@ class ServingReport:
             scheduler_stats=dict(data.get("scheduler_stats", {})),
             fastforward=(dict(data["fastforward"])
                          if data.get("fastforward") is not None else None),
+            metrics=(dict(data["metrics"])
+                     if data.get("metrics") is not None else None),
         )

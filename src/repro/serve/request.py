@@ -43,13 +43,20 @@ class RequestStatus(Enum):
 
 @dataclass
 class RequestRecord:
-    """Per-request bookkeeping: admission decision plus timestamps."""
+    """Per-request bookkeeping: admission decision plus timestamps.
+
+    ``reroutes`` counts how many times the cluster layer moved this
+    record's backlog entry off a failed device onto a peer; it stays 0
+    on the single-device path and for requests that were dispatched
+    before any fault hit.
+    """
 
     request: Request
     status: RequestStatus = RequestStatus.QUEUED
     admitted_at: Optional[float] = None
     dispatched_at: Optional[float] = None
     completed_at: Optional[float] = None
+    reroutes: int = 0
 
     @property
     def tenant(self) -> str:

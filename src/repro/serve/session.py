@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..baseline.system import BaselineSystem
 from ..core.accelerator import FlashAbacusAccelerator
 from ..core.kernel import Kernel
+from ..obs import MetricsBus, ObsConfig, Tracer, wire_serving_metrics
 from ..platform.config import PlatformConfig
 from ..policy import PolicySpec, build_policy, policy_class
 from ..workloads.characteristics import lookup
@@ -405,11 +406,24 @@ class ServingScenario:
 
 
 class ServingSession:
-    """Runs one :class:`ServingScenario` on one configured system."""
+    """Runs one :class:`ServingScenario` on one configured system.
 
-    def __init__(self, scenario: ServingScenario, config: PlatformConfig):
+    ``obs`` opts into the observability layer (:mod:`repro.obs`): with
+    tracing on, a :class:`~repro.obs.Tracer` is attached to the
+    environment before the front-end is built and left on
+    :attr:`tracer` after the run; with metrics on, the standard serving
+    instrument set samples into a timeline exposed as :attr:`metrics`
+    and serialized into the report's ``metrics`` field.  ``obs=None``
+    (the default) is the byte-identical pre-observability path.
+    """
+
+    def __init__(self, scenario: ServingScenario, config: PlatformConfig,
+                 obs: Optional[ObsConfig] = None):
         self.scenario = scenario
         self.config = config
+        self.obs = obs
+        self.tracer: Optional[Tracer] = None
+        self.metrics = None
 
     def _build_backend(self) -> ServingBackend:
         return build_serving_backend(self.scenario, self.config)
@@ -420,8 +434,13 @@ class ServingSession:
     def run(self) -> ServingReport:
         """Execute the scenario end to end; returns the report."""
         scenario = self.scenario
+        obs = self.obs
         backend = self._build_backend()
         env = backend.env
+        if obs is not None and obs.tracing:
+            # Attached before the front-end/backend capture env.tracer.
+            self.tracer = Tracer(obs.trace_capacity)
+            env.tracer = self.tracer
         tenants = [t.name for t in scenario.tenants]
         tracker = SLOTracker(tenants,
                              reservoir_capacity=scenario.reservoir_capacity,
@@ -429,18 +448,33 @@ class ServingSession:
         frontend = ServingFrontend(env, backend, scenario.make_admission(),
                                    tracker, tenants,
                                    dispatch=scenario.make_dispatch())
+        bus: Optional[MetricsBus] = None
+        if obs is not None and obs.metrics:
+            bus = MetricsBus(cadence_s=obs.cadence_s)
+            wire_serving_metrics(bus, tracker, frontend, backend)
+            bus.install(env)
         requests = scenario.make_arrivals().generate(scenario.duration_s)
         backend.start()
         env.process(arrival_driver(env, frontend, requests))
         drive_until_settled(env, tracker, len(requests),
                             scenario.duration_s, backend.check_health)
+        if bus is not None:
+            # Final sample at settle time, then retire the sampler
+            # (de-scheduling its pending tick) so the drain loop below
+            # terminates — and ends at the same clock reading as an
+            # unobserved run.
+            bus.stop(env)
         backend.finish()
         # Drain the remaining background work (Storengine flush/GC on the
         # accelerator) so energy accounting covers every byte served.
         while env.peek() != float("inf"):
             env.step()
         backend.check_health()
-        return self._assemble_report(backend, tracker)
+        report = self._assemble_report(backend, tracker)
+        if bus is not None:
+            self.metrics = bus.timeline
+            report.metrics = bus.timeline.to_dict()
+        return report
 
     # ------------------------------------------------------------------ #
     # Report assembly                                                     #
@@ -458,11 +492,12 @@ class ServingSession:
 
 def run_serving(scenario: ServingScenario,
                 config: Optional[PlatformConfig] = None,
-                system: Optional[str] = None) -> ServingReport:
+                system: Optional[str] = None,
+                obs: Optional[ObsConfig] = None) -> ServingReport:
     """Convenience wrapper: run one scenario on one system."""
     if config is None:
         config = PlatformConfig(system=system) if system \
             else PlatformConfig()
     elif system is not None:
         config = config.with_system(system)
-    return ServingSession(scenario, config).run()
+    return ServingSession(scenario, config, obs=obs).run()

@@ -177,6 +177,15 @@ class SLOTracker:
         """Requests with a final outcome (completed or rejected)."""
         return self.aggregate.completed + self.aggregate.rejected
 
+    def rolling_percentile(self, pct: float) -> Optional[float]:
+        """Aggregate latency percentile so far, or None with no samples.
+
+        The metrics bus's ``rolling_p99_s`` feed (repro.obs): read
+        mid-run it reflects every completion observed up to the current
+        simulation time through the aggregate reservoir.
+        """
+        return self.aggregate.percentile(pct)
+
     def tenants(self) -> List[str]:
         """Tenant names, sorted for deterministic iteration."""
         return sorted(self.accounts)

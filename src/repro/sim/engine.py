@@ -346,9 +346,12 @@ class Environment:
     # The clock, the sequence counter and the active-process marker are
     # written once or twice per event; __slots__ keeps those accesses on
     # the fast path (and events hold a reference each, so the per-object
-    # dict would be pure overhead).
+    # dict would be pure overhead).  ``tracer`` is the observability
+    # attach point (repro.obs): None by default, and instrumented call
+    # sites guard on that, so an untraced run pays one attribute load
+    # per site and nothing else.
     __slots__ = ("_now", "_queue", "_eid", "_active_process",
-                 "_timeout_pool", "_event_pool")
+                 "_timeout_pool", "_event_pool", "tracer")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -357,6 +360,7 @@ class Environment:
         self._active_process: Optional[Process] = None
         self._timeout_pool: List[Timeout] = []
         self._event_pool: List[Event] = []
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -436,6 +440,25 @@ class Environment:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none is pending."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    def cancel(self, event: Event) -> bool:
+        """Remove one scheduled ``event`` from the pending queue.
+
+        Returns ``True`` if the event was found (its waiters will never
+        be resumed), ``False`` if it was not scheduled.  A popped-but-
+        never-fired event does not advance the clock, which is the
+        point: the observability sampler de-schedules its re-arm
+        timeout on shutdown so the session's post-run drain ends at the
+        real makespan instead of the next cadence tick.  O(queue) — for
+        shutdown paths, not the hot loop.
+        """
+        queue = self._queue
+        for index, entry in enumerate(queue):
+            if entry[2] is event:
+                del queue[index]
+                heapq.heapify(queue)
+                return True
+        return False
 
     def advance_to(self, time: float) -> None:
         """Bulk time advance: jump the clock to ``time`` without stepping.

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Export (or validate) a Chrome trace_event JSON from an observed run.
+
+Runs one serving or cluster scenario with the observability layer on and
+writes the recorded span trace in the Chrome ``trace_event`` format —
+load the file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` to see per-tenant request lifecycles, per-device
+service/scheduler tracks and per-LWP screen executions.
+
+    python tools/trace_export.py --mode serving --out serving-trace.json
+    python tools/trace_export.py --mode cluster --quick --out fleet.json
+    python tools/trace_export.py --validate serving-trace.json
+
+``--validate`` schema-checks an existing export (the CI artifact gate)
+instead of running anything; exit status 1 on problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:                                  # clean checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs import (
+    ObsConfig,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.platform.cluster import ClusterConfig, FaultSpec
+from repro.platform.config import PlatformConfig
+from repro.cluster.session import ClusterSession
+from repro.serve.session import ServingScenario, ServingSession
+
+#: Keep example runs fast: scale the Table-2 data sets down.
+INPUT_SCALE = 0.01
+
+
+def build_scenario(args) -> ServingScenario:
+    return ServingScenario(
+        process="poisson", offered_rps=args.rps,
+        duration_s=args.duration, seed=args.seed)
+
+
+def run_serving_trace(args, obs: ObsConfig):
+    scenario = build_scenario(args)
+    config = PlatformConfig(system=args.system, input_scale=INPUT_SCALE)
+    session = ServingSession(scenario, config, obs=obs)
+    report = session.run()
+    return session.tracer, report, f"serving:{scenario.label}"
+
+
+def run_cluster_trace(args, obs: ObsConfig):
+    scenario = build_scenario(args)
+    device = PlatformConfig(system=args.system, input_scale=INPUT_SCALE)
+    # One mid-run device failure so the exported trace exercises the
+    # evict/reroute instants, not just the happy path.
+    fault_t = args.duration / 3.0
+    cluster = ClusterConfig.homogeneous(
+        args.devices, device,
+        faults=(FaultSpec(fault_t, args.devices - 1, "failed"),))
+    session = ClusterSession(scenario, cluster, obs=obs)
+    report = session.run()
+    return session.tracer, report, f"cluster:{scenario.label}"
+
+
+def validate_file(path: str) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL {path}: unreadable ({exc})")
+        return 1
+    problems = validate_chrome_trace(data)
+    if problems:
+        print(f"FAIL {path}: {len(problems)} problem(s)")
+        for problem in problems[:20]:
+            print(f"  - {problem}")
+        return 1
+    events = data.get("traceEvents", [])
+    print(f"OK {path}: {len(events)} events, "
+          f"recorded={data.get('otherData', {}).get('recorded', '?')}, "
+          f"dropped={data.get('otherData', {}).get('dropped', '?')}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validate", metavar="FILE", default=None,
+                        help="schema-check an existing export and exit")
+    parser.add_argument("--mode", choices=("serving", "cluster"),
+                        default="serving")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (required unless --validate)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short run (1s, CI smoke settings)")
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--rps", type=float, default=40.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--system", default="IntraO3")
+    parser.add_argument("--devices", type=int, default=3,
+                        help="fleet size for --mode cluster")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="trace only, skip the metrics bus")
+    args = parser.parse_args()
+
+    if args.validate is not None:
+        return validate_file(args.validate)
+    if args.out is None:
+        parser.error("--out is required (or use --validate FILE)")
+    if args.quick:
+        args.duration = min(args.duration, 1.0)
+
+    obs = ObsConfig(metrics=not args.no_metrics)
+    runner = run_serving_trace if args.mode == "serving" \
+        else run_cluster_trace
+    tracer, report, label = runner(args, obs)
+    data = to_chrome_trace(tracer, label=label)
+    problems = validate_chrome_trace(data)
+    if problems:
+        # An exporter bug, not user error: surface loudly.
+        for problem in problems:
+            print(f"  - {problem}")
+        raise SystemExit(f"exporter produced an invalid trace "
+                         f"({len(problems)} problem(s))")
+    write_chrome_trace(args.out, data)
+    print(f"wrote {args.out}: {len(data['traceEvents'])} trace events "
+          f"({tracer.recorded} spans recorded, {tracer.dropped} dropped)")
+    print(f"run: offered={report.offered} completed={report.completed} "
+          f"rejected={report.rejected} "
+          f"goodput={report.goodput_rps:.1f} rps")
+    if report.metrics is not None:
+        print(f"metrics timeline: {len(report.metrics['series'])} series "
+              f"@ {report.metrics['cadence_s']}s cadence")
+    print("view: https://ui.perfetto.dev (open trace file)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
