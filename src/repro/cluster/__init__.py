@@ -10,9 +10,20 @@ join-shortest-queue — all registered in the unified policy registry,
 :mod:`repro.policy`), models per-device health (a device can be derated
 or failed mid-run, its backlog rerouted without dropping admitted
 requests), and rolls the per-device reports into a fleet-level
-:class:`~repro.cluster.report.ClusterReport`.
+:class:`~repro.cluster.report.ClusterReport`.  Fleets can also run
+*elastic*: an :class:`~repro.cluster.autoscale.AutoscaleController`
+samples load each control tick and grows/shrinks the fleet through a
+registered ``autoscaler`` policy, with warm-up on scale-up and a
+drain-before-removal scale-down that never drops an admitted request.
 """
 
+from .autoscale import (
+    AutoscaleController,
+    AutoscalerPolicy,
+    FleetSignals,
+    P99TargetAutoscaler,
+    QueueDepthThresholdAutoscaler,
+)
 from .dispatcher import ClusterDispatcher, ShardTracker
 from .health import DeviceHealth, DeviceShard
 from .placement import (
@@ -34,6 +45,11 @@ from .report import ClusterReport
 from .session import ClusterSession, run_cluster
 
 __all__ = [
+    "AutoscaleController",
+    "AutoscalerPolicy",
+    "FleetSignals",
+    "P99TargetAutoscaler",
+    "QueueDepthThresholdAutoscaler",
     "ClusterDispatcher",
     "ShardTracker",
     "DeviceHealth",

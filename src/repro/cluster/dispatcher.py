@@ -57,12 +57,19 @@ class ClusterDispatcher:
         self.shards = shards
         self.cluster = cluster
         self.fleet = fleet
+        # An elastic fleet may grow past the initially provisioned
+        # shards: the placement policy must be built over the ceiling,
+        # or stateless policies (round-robin's modulo, tenant-affinity's
+        # hash) could never reach a scaled-up device.
+        device_count = (cluster.effective_max_devices if cluster.elastic
+                        else len(shards))
         self.policy = policy if policy is not None else build_policy(
             "placement", cluster.placement_policy_spec(),
-            device_count=len(shards), salt=cluster.affinity_salt)
+            device_count=device_count, salt=cluster.affinity_salt)
         self.cluster_rejected = 0    # arrivals with no routable device
         self.reroutes = 0            # backlog records moved off failed devices
         self.health_events: List[Tuple[float, int, str]] = []
+        self.closed = False
         # Observability (repro.obs): the shard front-ends record the
         # per-device request lifecycle; the dispatcher only adds what
         # never reaches a shard (cluster-edge rejections) and the
@@ -107,8 +114,57 @@ class ClusterDispatcher:
 
     def close(self) -> None:
         """No more arrivals: every shard's dispatcher may drain and exit."""
+        self.closed = True
         for shard in self.shards:
             shard.frontend.close()
+
+    # ------------------------------------------------------------------ #
+    # Elastic-fleet hooks (driven by the AutoscaleController)             #
+    # ------------------------------------------------------------------ #
+    def add_shard(self, shard: DeviceShard) -> None:
+        """Adopt a freshly provisioned shard into the routable fleet."""
+        if shard.index != len(self.shards):
+            raise ValueError(
+                f"new shard index {shard.index} must extend the fleet "
+                f"({len(self.shards)} shards)")
+        self.shards.append(shard)
+
+    def drain_shard(self, victim: DeviceShard) -> bool:
+        """Move a scale-down victim's backlog to its peers.
+
+        The victim must already be marked ``draining`` (so it is out of
+        ``routable_shards``).  Queued records reroute through the
+        placement policy exactly like the fault path; in-flight work
+        finishes on the victim.  Returns ``False`` — and clears the
+        ``draining`` mark — when no peer can adopt the backlog (every
+        other device failed): the scale-down is aborted rather than
+        stranding admitted requests.
+        """
+        evicted = victim.frontend.evict_queued()
+        if not evicted:
+            return True
+        targets = self.routable_shards()
+        tracer = self._tracer
+        now = self.env.now
+        if not targets:
+            victim.draining = False
+            for record in evicted:
+                victim.frontend.enqueue_record(record)
+            return False
+        victim.rerouted_out += len(evicted)
+        self.reroutes += len(evicted)
+        for record in evicted:
+            target = self.policy.select(record.request, targets)
+            target.rerouted_in += 1
+            record.reroutes += 1
+            if tracer is not None:
+                rid = record.request.request_id
+                tenant = record.request.tenant
+                tracer.span(now, "evict", rid, tenant, victim.index)
+                tracer.span(now, "reroute", rid, tenant,
+                            target.index, victim.index)
+            target.frontend.enqueue_record(record)
+        return True
 
     @property
     def drained(self) -> bool:
@@ -128,6 +184,11 @@ class ClusterDispatcher:
         """
         shard = self.shards[device]
         self.health_events.append((self.env.now, device, state.value))
+        if shard.retired:
+            # A scale-down retired this device first: its backend is
+            # finished and its meter stopped; the transition is recorded
+            # but must not resurrect it.
+            return
         if state is DeviceHealth.FAILED \
                 and shard.health is DeviceHealth.FAILED:
             # Already failed: a repeated fault must not re-zero the

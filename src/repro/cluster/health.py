@@ -52,6 +52,12 @@ class DeviceShard:
         self.routed = 0          # requests the dispatcher sent here
         self.rerouted_in = 0     # backlog records adopted from failed peers
         self.rerouted_out = 0    # backlog records evicted on failure
+        # Elastic-fleet lifecycle (all no-ops on a static fleet).
+        self.warming = False     # provisioned but still out of placement
+        self.draining = False    # scale-down victim: no new traffic
+        self.retired = False     # drained and finished; meter stopped
+        self.activated_at = 0.0  # when the device started costing
+        self.retired_at: float | None = None
 
     # -- ShardView surface (what placement policies observe) ----------------
     @property
@@ -77,8 +83,15 @@ class DeviceShard:
     # -- health ---------------------------------------------------------------
     @property
     def routable(self) -> bool:
-        """Whether the dispatcher may send this shard new traffic."""
-        return self.health is not DeviceHealth.FAILED
+        """Whether the dispatcher may send this shard new traffic.
+
+        Failed devices are out of rotation (PR-3 fault path); elastic
+        fleets additionally exclude devices still warming up and
+        scale-down victims draining toward retirement.
+        """
+        return (self.health is not DeviceHealth.FAILED
+                and not self.warming and not self.draining
+                and not self.retired)
 
     def apply_health(self, state: DeviceHealth,
                      degraded_capacity_factor: float) -> None:

@@ -412,6 +412,13 @@ class ParallelClusterSession:
 
     def __init__(self, scenario: ServingScenario, cluster: ClusterConfig,
                  parallel: Optional[ParallelConfig] = None):
+        if cluster.elastic:
+            # The epoch runner pre-partitions a fixed device set across
+            # workers; a fleet that resizes mid-run has no stable
+            # partition.  Elastic runs use the serial session.
+            raise ValueError(
+                "ParallelClusterSession does not support elastic "
+                "clusters (autoscaler_spec set); use ClusterSession")
         self.scenario = scenario
         self.cluster = cluster
         self.parallel = parallel if parallel is not None \

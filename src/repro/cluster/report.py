@@ -44,6 +44,10 @@ class ClusterReport:
     # Metrics-bus timeline (repro.obs); None unless the run opted into
     # observability, so default runs keep their byte form.
     metrics: Optional[Dict[str, Any]] = None
+    # Autoscaler summary (policy, scale events, size timeline, per-device
+    # device-seconds); None unless the cluster ran elastic — static runs
+    # keep their byte form.
+    autoscaler: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors ------------------------------------------------
     def percentile_s(self, key: str) -> Optional[float]:
@@ -111,6 +115,8 @@ class ClusterReport:
         # byte-identical to their goldens.
         if self.metrics is not None:
             data["metrics"] = dict(self.metrics)
+        if self.autoscaler is not None:
+            data["autoscaler"] = dict(self.autoscaler)
         return data
 
     @classmethod
@@ -141,4 +147,6 @@ class ClusterReport:
                            for event in data.get("health_events", [])],
             metrics=(dict(data["metrics"])
                      if data.get("metrics") is not None else None),
+            autoscaler=(dict(data["autoscaler"])
+                        if data.get("autoscaler") is not None else None),
         )

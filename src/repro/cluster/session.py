@@ -29,6 +29,7 @@ from ..serve.session import (
 from ..serve.frontend import ServingFrontend
 from ..serve.slo import SLOTracker
 from ..sim.engine import Environment
+from .autoscale import AutoscaleController
 from .dispatcher import ClusterDispatcher, ShardTracker
 from .health import DeviceHealth, DeviceShard
 from .report import ClusterReport
@@ -53,30 +54,46 @@ class ClusterSession:
         self.obs = obs
         self.tracer: Optional[Tracer] = None
         self.metrics = None
+        self.autoscaler: Optional[AutoscaleController] = None
 
     # ------------------------------------------------------------------ #
     # Fleet assembly                                                      #
     # ------------------------------------------------------------------ #
-    def _build_shards(self, env: Environment,
-                      fleet: SLOTracker) -> List[DeviceShard]:
+    def _build_shard(self, env: Environment, fleet: SLOTracker,
+                     index: int) -> DeviceShard:
+        """One device shard, from the config of fleet position ``index``.
+
+        Positions past the configured ``devices`` (elastic scale-up)
+        clone the device template; either way the shard's reservoir seed
+        is a pure function of the scenario seed and the index, so elastic
+        runs stay byte-reproducible.
+        """
         scenario = self.scenario
         tenants = [t.name for t in scenario.tenants]
-        shards: List[DeviceShard] = []
-        for index, config in enumerate(self.cluster.devices):
-            backend = build_serving_backend(scenario, config, env=env)
-            # Distinct deterministic reservoir seeds per device, offset
-            # past the fleet tracker's own per-tenant seed range.
-            tracker = ShardTracker(
-                tenants, fleet,
-                reservoir_capacity=scenario.reservoir_capacity,
-                seed=scenario.seed + 1000 * (index + 1))
-            frontend = ServingFrontend(env, backend,
-                                       scenario.make_admission(),
-                                       tracker, tenants,
-                                       dispatch=scenario.make_dispatch())
-            shards.append(DeviceShard(index, config, backend, frontend,
-                                      tracker))
-        return shards
+        config = self.cluster.device_config(index)
+        backend = build_serving_backend(scenario, config, env=env)
+        # Distinct deterministic reservoir seeds per device, offset
+        # past the fleet tracker's own per-tenant seed range.
+        tracker = ShardTracker(
+            tenants, fleet,
+            reservoir_capacity=scenario.reservoir_capacity,
+            seed=scenario.seed + 1000 * (index + 1))
+        frontend = ServingFrontend(env, backend,
+                                   scenario.make_admission(),
+                                   tracker, tenants,
+                                   dispatch=scenario.make_dispatch())
+        shard = DeviceShard(index, config, backend, frontend, tracker)
+        if self.tracer is not None:
+            # Tag every span with the shard's device index so trace
+            # tracks separate per device.
+            shard.frontend.trace_device = shard.index
+            shard.backend.bind_trace_device(shard.index)
+        return shard
+
+    def _build_shards(self, env: Environment,
+                      fleet: SLOTracker) -> List[DeviceShard]:
+        return [self._build_shard(env, fleet, index)
+                for index in range(len(self.cluster.devices))]
 
     # ------------------------------------------------------------------ #
     # Simulation processes                                                #
@@ -109,18 +126,25 @@ class ClusterSession:
                            reservoir_capacity=scenario.reservoir_capacity,
                            seed=scenario.seed)
         shards = self._build_shards(env, fleet)
-        if self.tracer is not None:
-            for shard in shards:
-                # Tag every span with the shard's device index so trace
-                # tracks separate per device.
-                shard.frontend.trace_device = shard.index
-                shard.backend.bind_trace_device(shard.index)
         dispatcher = ClusterDispatcher(env, shards, self.cluster, fleet)
         bus: Optional[MetricsBus] = None
         if obs is not None and obs.metrics:
             bus = MetricsBus(cadence_s=obs.cadence_s)
             wire_cluster_metrics(bus, fleet, shards, dispatcher)
             bus.install(env)
+        controller: Optional[AutoscaleController] = None
+        if self.cluster.elastic:
+            # Built after metrics wiring so its latency tap chains onto
+            # (rather than replaces) the bus's histogram hook.
+            def shard_factory(index: int) -> DeviceShard:
+                shard = self._build_shard(env, fleet, index)
+                shard.backend.start()
+                return shard
+
+            controller = AutoscaleController(env, dispatcher, self.cluster,
+                                             fleet, shard_factory)
+            controller.install(env)
+        self.autoscaler = controller
         requests = scenario.make_arrivals().generate(scenario.duration_s)
         for shard in shards:
             shard.backend.start()
@@ -141,8 +165,13 @@ class ClusterSession:
             # terminates — and ends at the same clock reading as an
             # unobserved run.
             bus.stop(env)
+        if controller is not None:
+            # Same treatment for the control loop's pending tick and any
+            # outstanding warm-up timers.
+            controller.stop(env)
         for shard in shards:
-            shard.backend.finish()
+            if not shard.retired:   # retired at scale-down: already finished
+                shard.backend.finish()
         # Drain background work (Storengine flush/GC) on every device so
         # energy accounting covers every byte served fleet-wide.
         while env.peek() != float("inf"):
@@ -152,6 +181,8 @@ class ClusterSession:
         if bus is not None:
             self.metrics = bus.timeline
             report.metrics = bus.timeline.to_dict()
+        if controller is not None:
+            report.autoscaler = controller.summary(env.now)
         return report
 
     # ------------------------------------------------------------------ #

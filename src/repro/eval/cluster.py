@@ -84,6 +84,11 @@ class ClusterExperimentSpec:
             # stitched into one coherent fleet timeline.
             return ClusterSession(self.scenario, self.cluster,
                                   obs=self.obs).run()
+        if self.cluster.elastic:
+            # An autoscaled fleet resizes mid-run; only the serial
+            # shared-environment session supports that.
+            return ClusterSession(self.scenario, self.cluster,
+                                  obs=self.obs).run()
         if self.parallel is not None:
             return ParallelClusterSession(
                 self.scenario, self.cluster, self.parallel).run()

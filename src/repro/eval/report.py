@@ -141,7 +141,11 @@ def format_scaling_sweep(points: Sequence, slo_s: float = None) -> str:
     for point, factor in zip(ordered, factors):
         row = [
             point.device_count, point.offered_rps, point.goodput_rps,
-            factor, point.admitted, point.rejected, point.slo_violations,
+            # A zero-goodput reference point makes every speedup factor
+            # the `inf` sentinel — meaningless as a ratio, so the table
+            # says so instead of printing `inf`.
+            "n/a" if factor == float("inf") else factor,
+            point.admitted, point.rejected, point.slo_violations,
             -1.0 if point.p50_s is None else point.p50_s * 1e3,
             -1.0 if point.p99_s is None else point.p99_s * 1e3,
             point.energy_j, point.reroutes,
@@ -154,6 +158,41 @@ def format_scaling_sweep(points: Sequence, slo_s: float = None) -> str:
         rows.append(row)
     return "Cluster scaling sweep (goodput vs. device count)\n" \
         + format_table(headers, rows)
+
+
+def format_elastic(comparisons: Sequence) -> str:
+    """Render elastic-vs-static fleet comparisons as one table.
+
+    Two rows per scenario (the autoscaled fleet, then the static fleet
+    pinned at the same maximum): provisioned device-seconds, fleet-size
+    range, scale decisions, goodput, the latency tail, SLO compliance and
+    dropped admitted requests (always 0 — drain-safe scale-down is an
+    invariant, the column is the receipt).  A per-scenario savings line
+    follows the table.
+    """
+    headers = ["scenario", "fleet", "device_s", "devices", "scales",
+               "goodput_rps", "p99_ms", "slo_ok_pct", "dropped"]
+    rows = []
+    for comparison in comparisons:
+        for outcome in (comparison.elastic, comparison.static):
+            size = (str(outcome.peak_devices)
+                    if outcome.low_devices == outcome.peak_devices
+                    else f"{outcome.low_devices}-{outcome.peak_devices}")
+            rows.append([
+                comparison.scenario, outcome.mode, outcome.device_seconds,
+                size, outcome.scale_events, outcome.goodput_rps,
+                -1.0 if outcome.p99_s is None else outcome.p99_s * 1e3,
+                100.0 * outcome.slo_compliance, outcome.dropped,
+            ])
+    text = ("Elastic fleet vs. static max-provisioned fleet\n"
+            + format_table(headers, rows))
+    for comparison in comparisons:
+        text += (f"\n{comparison.scenario}: elastic fleet saved "
+                 f"{comparison.device_seconds_saved_pct:.1f}% "
+                 f"device-seconds at "
+                 f"{comparison.compliance_gap * 100:+.2f} pp SLO "
+                 f"compliance vs. static")
+    return text
 
 
 def format_policy_grid(points: Sequence, slo_s: float = None) -> str:

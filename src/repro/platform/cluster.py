@@ -97,6 +97,23 @@ class ClusterConfig:
         ``placement``, which serializes and hashes exactly as before the
         policy layer existed).  When set, its name *is* the placement:
         the ``placement`` field is synced to it.
+    autoscaler_spec:
+        Optional :class:`~repro.policy.PolicySpec` naming an
+        ``autoscaler`` policy.  ``None`` (the default) means a static
+        fleet — and, like ``placement_spec``, the field plus every
+        elastic knob below is omitted from serialization when unset so
+        legacy config hashes stay byte-identical.
+    min_devices / max_devices:
+        Fleet-size bounds the autoscaler is clamped to.  ``None`` means
+        1 and ``len(devices)`` respectively; ``devices`` itself is the
+        *initially provisioned* fleet, and scale-up past it clones the
+        first device's config (the device template).
+    warmup_s:
+        How long a freshly provisioned device is held out of placement
+        (it burns energy and device-seconds while warming — the cost of
+        reacting late).
+    autoscale_interval_s:
+        Cadence of the autoscaler's control tick.
     """
 
     devices: Tuple[PlatformConfig, ...]
@@ -105,6 +122,11 @@ class ClusterConfig:
     degraded_capacity_factor: float = 0.5
     faults: Tuple[FaultSpec, ...] = ()
     placement_spec: Optional[PolicySpec] = None
+    autoscaler_spec: Optional[PolicySpec] = None
+    min_devices: Optional[int] = None
+    max_devices: Optional[int] = None
+    warmup_s: float = 0.0
+    autoscale_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -123,11 +145,43 @@ class ClusterConfig:
         if not 0.0 < self.degraded_capacity_factor <= 1.0:
             raise ValueError(
                 "degraded_capacity_factor must be in (0, 1]")
+        seen_faults = set()
         for fault in self.faults:
             if fault.device >= len(self.devices):
                 raise ValueError(
                     f"fault names device {fault.device}, but the cluster "
                     f"has only {len(self.devices)} devices")
+            key = (fault.time_s, fault.device)
+            if key in seen_faults:
+                raise ValueError(
+                    f"duplicate fault for device {fault.device} at "
+                    f"t={fault.time_s}: which state wins would depend on "
+                    f"timeline order — merge or re-time the entries")
+            seen_faults.add(key)
+        if self.autoscaler_spec is not None:
+            spec = PolicySpec.coerce(self.autoscaler_spec)
+            object.__setattr__(self, "autoscaler_spec", spec)
+            if spec.name not in policy_names("autoscaler"):
+                raise ValueError(
+                    f"unknown autoscaler {spec.name!r}; choose from "
+                    f"{policy_names('autoscaler')}")
+            if self.min_devices is not None and self.min_devices < 1:
+                raise ValueError("min_devices must be >= 1")
+            if self.effective_min_devices > len(self.devices):
+                raise ValueError(
+                    "min_devices exceeds the initially provisioned fleet")
+            if self.effective_max_devices < len(self.devices):
+                raise ValueError(
+                    "max_devices is below the initially provisioned fleet")
+            if self.warmup_s < 0:
+                raise ValueError("warmup_s must be non-negative")
+            if self.autoscale_interval_s <= 0:
+                raise ValueError("autoscale_interval_s must be positive")
+        elif (self.min_devices is not None or self.max_devices is not None
+              or self.warmup_s != 0.0 or self.autoscale_interval_s != 1.0):
+            raise ValueError(
+                "elastic knobs (min_devices/max_devices/warmup_s/"
+                "autoscale_interval_s) require an autoscaler_spec")
 
     # ------------------------------------------------------------------ #
     # Factories                                                           #
@@ -188,6 +242,31 @@ class ClusterConfig:
         return len(self.devices)
 
     @property
+    def elastic(self) -> bool:
+        """Whether this cluster runs with an autoscaler control loop."""
+        return self.autoscaler_spec is not None
+
+    @property
+    def effective_min_devices(self) -> int:
+        return 1 if self.min_devices is None else self.min_devices
+
+    @property
+    def effective_max_devices(self) -> int:
+        return (len(self.devices) if self.max_devices is None
+                else self.max_devices)
+
+    @property
+    def device_template(self) -> PlatformConfig:
+        """The config scale-up clones for devices beyond ``devices``."""
+        return self.devices[0]
+
+    def device_config(self, index: int) -> PlatformConfig:
+        """Config of device ``index``, template-cloned past the fleet."""
+        if index < len(self.devices):
+            return self.devices[index]
+        return self.device_template
+
+    @property
     def label(self) -> str:
         """Registry/cache identity prefix, e.g. ``cluster-4xIntraO3``."""
         systems = {config.system for config in self.devices}
@@ -212,11 +291,28 @@ class ClusterConfig:
         # serialized form (and cache keys) byte-identical.
         if self.placement_spec is not None:
             data["placement_spec"] = self.placement_spec.to_dict()
+        if self.autoscaler_spec is not None:
+            data["autoscaler_spec"] = self.autoscaler_spec.to_dict()
+            data["min_devices"] = self.effective_min_devices
+            data["max_devices"] = self.effective_max_devices
+            data["warmup_s"] = self.warmup_s
+            data["autoscale_interval_s"] = self.autoscale_interval_s
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ClusterConfig":
         spec = data.get("placement_spec")
+        autoscaler = data.get("autoscaler_spec")
+        elastic: Dict[str, Any] = {}
+        if autoscaler is not None:
+            elastic = {
+                "autoscaler_spec": PolicySpec.from_dict(autoscaler),
+                "min_devices": data.get("min_devices"),
+                "max_devices": data.get("max_devices"),
+                "warmup_s": float(data.get("warmup_s", 0.0)),
+                "autoscale_interval_s": float(
+                    data.get("autoscale_interval_s", 1.0)),
+            }
         return cls(
             devices=tuple(PlatformConfig.from_dict(d)
                           for d in data.get("devices", [])),
@@ -228,6 +324,7 @@ class ClusterConfig:
                          for f in data.get("faults", [])),
             placement_spec=(PolicySpec.from_dict(spec)
                             if spec is not None else None),
+            **elastic,
         )
 
     def config_hash(self) -> str:

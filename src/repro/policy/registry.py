@@ -1,10 +1,12 @@
 """The single policy registry behind every pluggable decision point.
 
-Four layers of the stack make a pluggable decision per unit of work —
+Five layers of the stack make a pluggable decision per unit of work —
 which kernel runs next on the device (``scheduler``), whether a request
 may enter a tenant queue (``admission``), which tenant queue the
-front-end serves next (``dispatch``), and which device shard a cluster
-routes a request to (``placement``).  Before this module each family had
+front-end serves next (``dispatch``), which device shard a cluster
+routes a request to (``placement``), and how many devices an elastic
+fleet should hold right now (``autoscaler``).  Before this module each
+family had
 its own lookup idiom (a module dict, an if/elif factory, a hardcoded
 loop, a name tuple); now every policy anywhere is one registered class,
 addressable by ``(domain, name)`` and instantiable from a serializable
@@ -33,8 +35,9 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Type
 
 from .spec import PolicySpec
 
-#: The four policy domains, one per pluggable decision point in the stack.
-POLICY_DOMAINS = ("scheduler", "admission", "dispatch", "placement")
+#: The five policy domains, one per pluggable decision point in the stack.
+POLICY_DOMAINS = ("scheduler", "admission", "dispatch", "placement",
+                  "autoscaler")
 
 #: Where each domain's built-in policies register themselves; imported
 #: lazily on first lookup so the registry stays import-cycle-free.
@@ -43,6 +46,7 @@ DOMAIN_MODULES: Dict[str, str] = {
     "admission": "repro.serve.admission",
     "dispatch": "repro.serve.dispatch",
     "placement": "repro.cluster.placement",
+    "autoscaler": "repro.cluster.autoscale",
 }
 
 #: Alternate spellings accepted by lookups, kept for the legacy string

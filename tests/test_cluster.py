@@ -17,10 +17,10 @@ from repro.cluster import (
     DeviceHealth,
     DeviceShard,
     ShardTracker,
-    make_placement,
     run_cluster,
     stable_tenant_hash,
 )
+from repro.policy import PolicySpec, build_policy
 from repro.platform import ClusterConfig, FaultSpec, PlatformConfig
 from repro.serve import Request, RequestStatus, ServingFrontend, SLOTracker
 from repro.serve.session import ServingScenario, TenantSpec
@@ -104,7 +104,7 @@ def req(i=0, tenant="a"):
 
 
 def test_round_robin_cycles_and_skips_missing_devices():
-    policy = make_placement("round_robin", device_count=3)
+    policy = build_policy("placement", "round_robin", device_count=3)
     shards = [FakeShard(0), FakeShard(1), FakeShard(2)]
     picks = [policy.select(req(i), shards).index for i in range(4)]
     assert picks == [0, 1, 2, 0]
@@ -114,7 +114,7 @@ def test_round_robin_cycles_and_skips_missing_devices():
 
 
 def test_least_outstanding_normalizes_by_capacity():
-    policy = make_placement("least_outstanding", device_count=2)
+    policy = build_policy("placement", "least_outstanding", device_count=2)
     # Same absolute backlog, but shard 1 is derated: its relative load is
     # higher, so shard 0 wins.
     shards = [FakeShard(0, queued=3, capacity=6),
@@ -126,8 +126,8 @@ def test_least_outstanding_normalizes_by_capacity():
 
 
 def test_tenant_affinity_is_stable_and_falls_forward():
-    policy = make_placement("tenant_affinity", device_count=4,
-                            affinity_salt=1)
+    policy = build_policy("placement", PolicySpec("tenant_affinity"),
+                         device_count=4, salt=1)
     shards = [FakeShard(i) for i in range(4)]
     home = policy.select(req(tenant="a"), shards).index
     # Same tenant always lands on the same home device.
@@ -143,15 +143,15 @@ def test_tenant_affinity_is_stable_and_falls_forward():
 
 
 def test_power_aware_picks_lowest_energy():
-    policy = make_placement("power_aware", device_count=3)
+    policy = build_policy("placement", "power_aware", device_count=3)
     shards = [FakeShard(0, energy_j=5.0), FakeShard(1, energy_j=1.0),
               FakeShard(2, energy_j=3.0)]
     assert policy.select(req(), shards).index == 1
 
 
-def test_make_placement_unknown_name():
+def test_build_placement_unknown_name():
     with pytest.raises(ValueError):
-        make_placement("nope", device_count=2)
+        build_policy("placement", "nope", device_count=2)
 
 
 # --------------------------------------------------------------------------- #
@@ -160,7 +160,6 @@ def test_make_placement_unknown_name():
 def make_stub_cluster(env, device_count=2, capacity=2, service_s=0.1,
                       placement="round_robin", admission="none",
                       **admission_kwargs):
-    from repro.serve import make_admission
     cluster = ClusterConfig.homogeneous(device_count, PlatformConfig(),
                                         placement=placement)
     fleet = SLOTracker(TENANTS)
@@ -169,7 +168,9 @@ def make_stub_cluster(env, device_count=2, capacity=2, service_s=0.1,
         backend = StubBackend(env, capacity=capacity, service_s=service_s)
         tracker = ShardTracker(TENANTS, fleet, seed=index + 1)
         frontend = ServingFrontend(
-            env, backend, make_admission(admission, **admission_kwargs),
+            env, backend,
+            build_policy("admission", PolicySpec(admission,
+                                                 admission_kwargs)),
             tracker, TENANTS)
         shards.append(DeviceShard(index, PlatformConfig(), backend,
                                   frontend, tracker))
@@ -349,7 +350,7 @@ def test_cluster_tenant_affinity_pins_tenants():
         for stats in device.per_tenant.values():
             assert stats["offered"] == 0 or stats["rejected"] > 0 \
                 or stats["completed"] == stats["admitted"]
-    policy = make_placement("tenant_affinity", device_count=2)
+    policy = build_policy("placement", "tenant_affinity", device_count=2)
     for tenant in ("a", "b"):
         home = policy.home_index(tenant)
         away = 1 - home

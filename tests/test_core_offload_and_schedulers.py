@@ -10,8 +10,8 @@ from repro.core.schedulers import (
     OutOfOrderIntraKernelScheduler,
     SCHEDULER_CLASSES,
     StaticInterKernelScheduler,
-    make_scheduler,
 )
+from repro.policy import build_policy
 from repro.hw.memory import DDR3L
 from repro.hw.pcie import PCIeLink
 from repro.hw.power import EnergyAccountant
@@ -76,19 +76,22 @@ def test_offload_rejects_oversized_kernel_image(spec):
 # --------------------------------------------------------------------------- #
 # Scheduler factory                                                            #
 # --------------------------------------------------------------------------- #
-def test_make_scheduler_by_paper_name():
-    assert isinstance(make_scheduler("InterSt", 6), StaticInterKernelScheduler)
-    assert isinstance(make_scheduler("InterDy", 6), DynamicInterKernelScheduler)
-    assert isinstance(make_scheduler("IntraIo", 6), InOrderIntraKernelScheduler)
-    assert isinstance(make_scheduler("IntraO3", 6), OutOfOrderIntraKernelScheduler)
+def test_build_scheduler_by_paper_name():
+    def build(name, workers):
+        return build_policy("scheduler", name, num_workers=workers)
+
+    assert isinstance(build("InterSt", 6), StaticInterKernelScheduler)
+    assert isinstance(build("InterDy", 6), DynamicInterKernelScheduler)
+    assert isinstance(build("IntraIo", 6), InOrderIntraKernelScheduler)
+    assert isinstance(build("IntraO3", 6), OutOfOrderIntraKernelScheduler)
     with pytest.raises(ValueError):
-        make_scheduler("RoundRobin", 6)
+        build("RoundRobin", 6)
     assert set(SCHEDULER_CLASSES) == {"InterSt", "InterDy", "IntraIo", "IntraO3"}
 
 
 def test_scheduler_requires_workers():
     with pytest.raises(ValueError):
-        make_scheduler("InterDy", 0)
+        build_policy("scheduler", "InterDy", num_workers=0)
 
 
 # --------------------------------------------------------------------------- #

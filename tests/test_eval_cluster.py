@@ -1,11 +1,16 @@
 """Eval-layer tests: knee edge cases and orchestrated cluster sweeps."""
 
+import pytest
 
 from repro.eval import (
     ClusterExperimentSpec,
+    ElasticComparison,
     ExperimentOrchestrator,
+    FleetOutcome,
     SaturationPoint,
+    elastic_sweep,
     find_knee,
+    format_elastic,
     format_scaling_sweep,
     saturation_sweep,
     scaling_efficiency,
@@ -123,3 +128,54 @@ def test_scaling_efficiency_zero_base_is_inf_sentinel():
     factors = scaling_efficiency([P(1, 0.0), P(2, 10.0)])
     assert factors[0] == 1.0
     assert factors[1] == float("inf")
+
+
+def test_format_scaling_sweep_renders_inf_speedup_as_na():
+    # A zero-goodput reference point makes every speedup factor the inf
+    # sentinel; the table must say "n/a", not print "inf".
+    class P:
+        def __init__(self, n, g):
+            self.device_count = n
+            self.offered_rps = 100.0
+            self.goodput_rps = g
+            self.admitted = 0 if g == 0.0 else 10
+            self.rejected = 10
+            self.slo_violations = 0
+            self.p50_s = None
+            self.p95_s = None
+            self.p99_s = None
+            self.energy_j = 1.0
+            self.reroutes = 0
+    text = format_scaling_sweep([P(1, 0.0), P(2, 10.0)])
+    assert "n/a" in text
+    assert "inf" not in text
+
+
+# --------------------------------------------------------------------------- #
+# Elastic fleet comparison                                                     #
+# --------------------------------------------------------------------------- #
+def outcome(mode, device_seconds, violations=0):
+    return FleetOutcome(
+        mode=mode, device_seconds=device_seconds, peak_devices=4,
+        low_devices=1 if mode == "elastic" else 4,
+        scale_events=6 if mode == "elastic" else 0, offered=100,
+        admitted=90, completed=90, dropped=0, slo_violations=violations,
+        goodput_rps=200.0, p99_s=0.1, energy_j=5.0)
+
+
+def test_elastic_comparison_math_and_rendering():
+    comparison = ElasticComparison(
+        scenario="diurnal",
+        elastic=outcome("elastic", 6.0),
+        static=outcome("static", 12.0, violations=9))
+    assert comparison.device_seconds_saved_pct == pytest.approx(50.0)
+    # Elastic is fully compliant; static lost 10% of completions.
+    assert comparison.compliance_gap == pytest.approx(0.1)
+    text = format_elastic([comparison])
+    assert "diurnal" in text and "elastic" in text and "static" in text
+    assert "saved 50.0% device-seconds" in text
+
+
+def test_elastic_sweep_rejects_unknown_scenarios():
+    with pytest.raises(ValueError, match="unknown elastic scenario"):
+        elastic_sweep(scenarios=("diurnal", "weekly"))

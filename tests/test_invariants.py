@@ -19,9 +19,9 @@ from repro.serve import (
     ServingScenario,
     SLOTracker,
     TenantSpec,
-    make_admission,
     run_serving,
 )
+from repro.policy import build_policy
 from repro.sim import Environment
 
 from helpers import StubBackend
@@ -97,7 +97,9 @@ def test_mid_run_conservation_at_every_event():
     backend = StubBackend(env, capacity=2, service_s=0.05)
     tracker = SLOTracker(tenants)
     frontend = ServingFrontend(
-        env, backend, make_admission("queue_depth", max_tenant_depth=3),
+        env, backend,
+        build_policy("admission", {"name": "queue_depth",
+                                   "params": {"max_tenant_depth": 3}}),
         tracker, tenants)
 
     def arrivals():

@@ -44,6 +44,7 @@ DOMAIN_CONTEXT = {
     "admission": {},
     "dispatch": {"weights": {"tenant-a": 1.0}},
     "placement": {"device_count": 3, "salt": 1},
+    "autoscaler": {},
 }
 
 
@@ -65,7 +66,7 @@ def test_every_registered_policy_round_trips_and_instantiates():
             assert rebuilt.config_hash() == spec.config_hash()
 
 
-def test_registry_contents_match_the_four_families():
+def test_registry_contents_match_the_five_families():
     assert set(policy_names("scheduler")) == {
         "InterSt", "InterDy", "IntraIo", "IntraO3"}
     assert set(policy_names("admission")) == {
@@ -75,6 +76,8 @@ def test_registry_contents_match_the_four_families():
     assert set(policy_names("placement")) == {
         "round_robin", "least_outstanding", "tenant_affinity",
         "power_aware", "join_shortest_queue"}
+    assert set(policy_names("autoscaler")) == {
+        "queue_depth_threshold", "p99_target"}
 
 
 def test_unknown_policy_name_lists_sorted_choices():

@@ -9,8 +9,8 @@ from repro.serve import (
     RequestStatus,
     ServingFrontend,
     SLOTracker,
-    make_admission,
 )
+from repro.policy import build_policy
 from repro.serve.backends import ServingBackend
 from repro.sim import Environment
 
@@ -41,7 +41,8 @@ def make_frontend(env, tenants=("a", "b"), capacity=2, service_s=0.1,
     backend = StubBackend(env, capacity=capacity, service_s=service_s)
     tracker = SLOTracker(tenants)
     frontend = ServingFrontend(
-        env, backend, admission or make_admission("none"), tracker, tenants)
+        env, backend,
+        admission or build_policy("admission", "none"), tracker, tenants)
     return frontend, backend, tracker
 
 
@@ -170,9 +171,9 @@ def test_deadline_admission_in_frontend_rejects_hopeless_requests():
     assert tracker.completed + tracker.rejected == 6
 
 
-def test_make_admission_rejects_unknown_policy():
+def test_build_admission_rejects_unknown_policy():
     with pytest.raises(ValueError):
-        make_admission("magic")
+        build_policy("admission", "magic")
 
 
 def test_frontend_rejects_unknown_tenant():
