@@ -50,7 +50,8 @@ class ClusterDispatcher:
 
     def __init__(self, env, shards: List[DeviceShard],
                  cluster: ClusterConfig, fleet: SLOTracker,
-                 policy: Optional[PlacementPolicy] = None):
+                 policy: Optional[PlacementPolicy] = None,
+                 seed: int = 0):
         if not shards:
             raise ValueError("at least one device shard is required")
         self.env = env
@@ -60,12 +61,15 @@ class ClusterDispatcher:
         # An elastic fleet may grow past the initially provisioned
         # shards: the placement policy must be built over the ceiling,
         # or stateless policies (round-robin's modulo, tenant-affinity's
-        # hash) could never reach a scaled-up device.
+        # hash) could never reach a scaled-up device.  ``seed`` (the
+        # scenario seed) feeds learned policies' exploration RNG; static
+        # policies never name it.
         device_count = (cluster.effective_max_devices if cluster.elastic
                         else len(shards))
         self.policy = policy if policy is not None else build_policy(
             "placement", cluster.placement_policy_spec(),
-            device_count=device_count, salt=cluster.affinity_salt)
+            device_count=device_count, salt=cluster.affinity_salt,
+            seed=seed)
         self.cluster_rejected = 0    # arrivals with no routable device
         self.reroutes = 0            # backlog records moved off failed devices
         self.health_events: List[Tuple[float, int, str]] = []
@@ -157,6 +161,7 @@ class ClusterDispatcher:
             target = self.policy.select(record.request, targets)
             target.rerouted_in += 1
             record.reroutes += 1
+            self.policy.on_reroute(record, victim.index, target.index)
             if tracer is not None:
                 rid = record.request.request_id
                 tenant = record.request.tenant
@@ -227,6 +232,7 @@ class ClusterDispatcher:
             target = self.policy.select(record.request, targets)
             target.rerouted_in += 1
             record.reroutes += 1
+            self.policy.on_reroute(record, failed.index, target.index)
             if tracer is not None:
                 rid = record.request.request_id
                 tenant = record.request.tenant

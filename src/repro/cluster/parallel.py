@@ -46,7 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..platform.cluster import ClusterConfig, FaultSpec
-from ..policy import build_policy
+from ..policy import build_policy, policy_is_learned
 from ..serve.report import ServingReport
 from ..serve.request import RequestRecord
 from ..serve.session import (
@@ -419,6 +419,21 @@ class ParallelClusterSession:
             raise ValueError(
                 "ParallelClusterSession does not support elastic "
                 "clusters (autoscaler_spec set); use ClusterSession")
+        learned = [
+            f"{domain} {spec.name!r}" for domain, spec in (
+                ("admission", scenario.effective_admission_spec()),
+                ("dispatch", scenario.dispatch_spec),
+                ("placement", cluster.placement_policy_spec()))
+            if spec is not None and policy_is_learned(domain, spec)]
+        if learned:
+            # Learned policies accumulate state from the completion
+            # feedback stream; per-worker copies of that state would
+            # diverge from the serial model (the fleet placement bandit
+            # most of all), breaking the worker-count-independence
+            # contract.  Learned runs use the serial session.
+            raise ValueError(
+                f"ParallelClusterSession does not support learned "
+                f"policies ({', '.join(learned)}); use ClusterSession")
         self.scenario = scenario
         self.cluster = cluster
         self.parallel = parallel if parallel is not None \

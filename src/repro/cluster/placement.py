@@ -69,6 +69,14 @@ class PlacementPolicy:
         """Pick the shard ``request`` is routed to."""
         raise NotImplementedError
 
+    def on_reroute(self, record, from_device: int,
+                   to_device: int) -> None:
+        """A queued record moved devices (failure or scale-down drain).
+
+        The dispatcher notifies after every reroute decision; static
+        policies ignore it, learned ones count/penalize.
+        """
+
 
 @register_policy("placement")
 class RoundRobinPlacement(PlacementPolicy):

@@ -48,6 +48,10 @@ class ClusterReport:
     # device-seconds); None unless the cluster ran elastic — static runs
     # keep their byte form.
     autoscaler: Optional[Dict[str, Any]] = None
+    # Fleet-level learned-policy state snapshots (the placement bandit;
+    # per-device admission/dispatch snapshots live on the device
+    # reports); None unless the run used learned policies.
+    learned: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors ------------------------------------------------
     def percentile_s(self, key: str) -> Optional[float]:
@@ -117,6 +121,8 @@ class ClusterReport:
             data["metrics"] = dict(self.metrics)
         if self.autoscaler is not None:
             data["autoscaler"] = dict(self.autoscaler)
+        if self.learned is not None:
+            data["learned"] = dict(self.learned)
         return data
 
     @classmethod
@@ -149,4 +155,6 @@ class ClusterReport:
                      if data.get("metrics") is not None else None),
             autoscaler=(dict(data["autoscaler"])
                         if data.get("autoscaler") is not None else None),
+            learned=(dict(data["learned"])
+                     if data.get("learned") is not None else None),
         )

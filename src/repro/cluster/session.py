@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..obs import MetricsBus, ObsConfig, Tracer, wire_cluster_metrics
 from ..platform.cluster import ClusterConfig, FaultSpec
+from ..policy import learned_snapshot, wire_feedback
 from ..serve.report import ServingReport
 from ..serve.session import (
     ServingScenario,
@@ -55,6 +56,9 @@ class ClusterSession:
         self.tracer: Optional[Tracer] = None
         self.metrics = None
         self.autoscaler: Optional[AutoscaleController] = None
+        # The last run's shards: learned-policy evaluation (learning
+        # curves) reads their front-end records after the run.
+        self.shards: Optional[List[DeviceShard]] = None
 
     # ------------------------------------------------------------------ #
     # Fleet assembly                                                      #
@@ -126,7 +130,15 @@ class ClusterSession:
                            reservoir_capacity=scenario.reservoir_capacity,
                            seed=scenario.seed)
         shards = self._build_shards(env, fleet)
-        dispatcher = ClusterDispatcher(env, shards, self.cluster, fleet)
+        dispatcher = ClusterDispatcher(env, shards, self.cluster, fleet,
+                                       seed=scenario.seed)
+        # Learned-policy feedback: each shard's own learned admission/
+        # dispatch policies, plus the fleet-level placement policy on
+        # *every* shard front-end (a placement decision's outcome
+        # surfaces wherever the request completes).
+        for shard in shards:
+            wire_feedback(shard.frontend, extra=(dispatcher.policy,))
+        self.shards = shards
         bus: Optional[MetricsBus] = None
         if obs is not None and obs.metrics:
             bus = MetricsBus(cadence_s=obs.cadence_s)
@@ -138,6 +150,9 @@ class ClusterSession:
             # (rather than replaces) the bus's histogram hook.
             def shard_factory(index: int) -> DeviceShard:
                 shard = self._build_shard(env, fleet, index)
+                # Scale-up shards join the feedback loop like the
+                # initially provisioned ones.
+                wire_feedback(shard.frontend, extra=(dispatcher.policy,))
                 shard.backend.start()
                 return shard
 
@@ -183,6 +198,7 @@ class ClusterSession:
             report.metrics = bus.timeline.to_dict()
         if controller is not None:
             report.autoscaler = controller.summary(env.now)
+        report.learned = learned_snapshot({"placement": dispatcher.policy})
         return report
 
     # ------------------------------------------------------------------ #
@@ -191,10 +207,14 @@ class ClusterSession:
     def _device_report(self, env: Environment,
                        shard: DeviceShard) -> ServingReport:
         stats_fn = getattr(shard.backend, "scheduler_stats", None)
-        return assemble_serving_report(
+        report = assemble_serving_report(
             self.scenario, shard.config.system, shard.tracker,
             makespan_s=env.now, energy_j=shard.backend.energy_j,
             scheduler_stats=stats_fn() if stats_fn else None)
+        report.learned = learned_snapshot({
+            "admission": shard.frontend.admission,
+            "dispatch": shard.frontend.dispatch_policy})
+        return report
 
     def _assemble_report(self, env: Environment,
                          shards: List[DeviceShard],

@@ -27,6 +27,7 @@ from ..cluster.session import ClusterSession
 from ..obs import ObsConfig
 from ..platform.cluster import ClusterConfig
 from ..platform.config import PlatformConfig
+from ..policy import policy_is_learned
 from ..serve.session import ServingScenario
 from .orchestrator import (
     CACHE_REVISION,
@@ -75,6 +76,17 @@ class ClusterExperimentSpec:
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
         return ExperimentKey(self.cluster.label, self.scenario.label, digest)
 
+    def _uses_learned_policy(self) -> bool:
+        """Whether any domain of this run selects a learned policy."""
+        scenario = self.scenario
+        return (policy_is_learned("admission",
+                                  scenario.effective_admission_spec())
+                or (scenario.dispatch_spec is not None
+                    and policy_is_learned("dispatch",
+                                          scenario.dispatch_spec))
+                or policy_is_learned("placement",
+                                     self.cluster.placement_policy_spec()))
+
     def execute(self) -> ClusterReport:
         """Run this cluster experiment in-process (fresh Environment)."""
         if self.obs is not None and self.obs.enabled:
@@ -87,6 +99,13 @@ class ClusterExperimentSpec:
         if self.cluster.elastic:
             # An autoscaled fleet resizes mid-run; only the serial
             # shared-environment session supports that.
+            return ClusterSession(self.scenario, self.cluster,
+                                  obs=self.obs).run()
+        if self.parallel is not None and self._uses_learned_policy():
+            # Learned policies are stateful across the fleet; the
+            # epoch-parallel runner refuses them (per-worker state would
+            # diverge), so learned cells silently take the serial path
+            # exactly like elastic ones.
             return ClusterSession(self.scenario, self.cluster,
                                   obs=self.obs).run()
         if self.parallel is not None:

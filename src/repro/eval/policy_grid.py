@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..cluster.report import ClusterReport
 from ..platform.cluster import ClusterConfig
 from ..platform.config import PlatformConfig
-from ..policy import PolicySpec
+from ..policy import PolicySpec, resolved_policy_spec
 from ..serve.session import ServingScenario
 from .cluster import ClusterExperimentSpec
 from .orchestrator import ExperimentOrchestrator, default_orchestrator
@@ -129,7 +129,12 @@ class PolicyGridPoint:
 
 
 def _coerce_axis(axis: Sequence[Any], domain: str) -> List[PolicySpec]:
-    specs = [PolicySpec.coerce(entry) for entry in axis]
+    # resolved_policy_spec materializes constructor defaults into learned
+    # specs (warm-up, exploration, retrain cadence are behavior), so a
+    # learned cell's cache key can never alias a result computed under a
+    # since-retuned default; static specs pass through untouched and keep
+    # every pre-existing cache key byte-identical.
+    specs = [resolved_policy_spec(domain, entry) for entry in axis]
     if not specs:
         raise ValueError(f"the {domain} axis of a policy grid needs at "
                          f"least one policy")
@@ -144,6 +149,7 @@ def policy_grid_specs(
         scenario: Optional[ServingScenario] = None,
         device_config: Optional[PlatformConfig] = None,
         device_count: int = 2,
+        devices: Optional[Sequence[PlatformConfig]] = None,
         ) -> List[Tuple[PolicyCombo, ClusterExperimentSpec]]:
     """Expand the axes into one cluster experiment per combination.
 
@@ -153,18 +159,38 @@ def policy_grid_specs(
     parts of each cell's config serialize pre-policy-layer; the scenario
     always carries explicit ``admission_spec``/``dispatch_spec`` because
     the grid overrides both axes per cell.
+
+    ``devices`` builds each cell's fleet from an explicit per-device
+    config list instead of ``device_count`` copies of ``device_config`` —
+    the heterogeneous-fleet axis (e.g. one straggler board at a larger
+    ``input_scale``).  The scheduler selection still applies fleet-wide
+    (each device keeps its own capacity knobs but runs the cell's
+    scheduler); pass ``devices`` or ``device_config``, never both.
     """
-    if device_count < 1:
-        raise ValueError("device_count must be >= 1")
+    if devices is not None:
+        if device_config is not None:
+            raise ValueError(
+                "pass either devices (heterogeneous fleet) or "
+                "device_config (homogeneous fleet), not both")
+        base_devices: Tuple[PlatformConfig, ...] = tuple(devices)
+        if not base_devices:
+            raise ValueError("devices needs at least one PlatformConfig")
+    else:
+        if device_count < 1:
+            raise ValueError("device_count must be >= 1")
+        base = device_config if device_config is not None \
+            else PlatformConfig()
+        base_devices = tuple(base for _ in range(device_count))
     base_scenario = scenario if scenario is not None else ServingScenario()
-    base_device = device_config if device_config is not None \
-        else PlatformConfig()
     grid: List[Tuple[PolicyCombo, ClusterExperimentSpec]] = []
     for sched in _coerce_axis(schedulers, "scheduler"):
         if sched.params:
-            device = base_device.with_overrides(scheduler_policy=sched)
+            cell_devices = tuple(
+                device.with_overrides(scheduler_policy=sched)
+                for device in base_devices)
         else:
-            device = base_device.with_system(sched.name)
+            cell_devices = tuple(device.with_system(sched.name)
+                                 for device in base_devices)
         for adm in _coerce_axis(admissions, "admission"):
             for disp in _coerce_axis(dispatches, "dispatch"):
                 if adm.name == "queue_depth" and not adm.params:
@@ -179,11 +205,11 @@ def policy_grid_specs(
                         admission_spec=adm, dispatch_spec=disp)
                 for place in _coerce_axis(placements, "placement"):
                     if place.params:
-                        cluster = ClusterConfig.homogeneous(
-                            device_count, device, placement_spec=place)
+                        cluster = ClusterConfig(
+                            devices=cell_devices, placement_spec=place)
                     else:
-                        cluster = ClusterConfig.homogeneous(
-                            device_count, device, placement=place.name)
+                        cluster = ClusterConfig(
+                            devices=cell_devices, placement=place.name)
                     combo = PolicyCombo(scheduler=sched, admission=adm,
                                         dispatch=disp, placement=place)
                     grid.append((combo, ClusterExperimentSpec(
@@ -199,6 +225,7 @@ def policy_grid(
         scenario: Optional[ServingScenario] = None,
         device_config: Optional[PlatformConfig] = None,
         device_count: int = 2,
+        devices: Optional[Sequence[PlatformConfig]] = None,
         orchestrator: Optional[ExperimentOrchestrator] = None,
         parallel: Optional[bool] = None) -> List[PolicyGridPoint]:
     """Run the whole cross product as one orchestrated batch.
@@ -210,7 +237,7 @@ def policy_grid(
     """
     grid = policy_grid_specs(schedulers, admissions, dispatches,
                              placements, scenario, device_config,
-                             device_count)
+                             device_count, devices)
     orch = orchestrator if orchestrator is not None else \
         default_orchestrator()
     reports = orch.run([spec for _, spec in grid], parallel=parallel)

@@ -1,0 +1,118 @@
+"""Completion feedback for learned policies.
+
+The learned policy species (:mod:`repro.policy.learned`) closes the loop
+between decisions and observed outcomes: every request completion is
+folded into one :class:`FeedbackEvent` — observed latency, SLO hit/miss,
+how often a failure or scale-down rerouted the request — and delivered to
+every learned policy attached to the run through the
+:class:`FeedbackHook` interface.
+
+The delivery path rides the completion callback the obs layer already
+taps (:meth:`~repro.serve.frontend.ServingFrontend._on_complete`): a
+front-end holds a (normally empty) ``feedback_hooks`` list, and the
+session wiring registers exactly the policies that declare
+``learned = True`` — its own admission controller and dispatch policy,
+plus the fleet-level placement policy in cluster runs (registered on
+*every* shard front-end, scale-up shards included, since a placement
+decision's outcome surfaces wherever the request completes).  Runs
+without learned policies keep an empty hook list and pay one length
+check per completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One completed request, as a learned policy observes it.
+
+    ``device`` is the shard index the request *completed* on (0 for
+    single-device serving); after a reroute it differs from the device
+    the placement policy originally chose, and ``reroutes`` counts how
+    many times the request was moved.  ``slo_met`` is ``True`` for
+    requests without an SLO, matching the tracker's accounting.
+    """
+
+    request_id: int
+    tenant: str
+    workload: str
+    device: int
+    latency_s: float
+    queue_delay_s: float
+    service_s: float
+    slo_s: Optional[float]
+    slo_met: bool
+    reroutes: int
+
+    @classmethod
+    def from_record(cls, record: "Any",
+                    device: int) -> "FeedbackEvent":
+        """Fold one completed :class:`~repro.serve.request.RequestRecord`
+        into an event.  (Duck-typed: this module must not import the
+        serve package, which imports the policy package at init.)"""
+        request = record.request
+        return cls(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            workload=request.workload,
+            device=device,
+            latency_s=record.latency_s,
+            queue_delay_s=record.queue_delay_s,
+            service_s=record.service_s,
+            slo_s=request.slo_s,
+            slo_met=record.slo_met,
+            reroutes=record.reroutes,
+        )
+
+
+class FeedbackHook:
+    """Interface of anything that learns from request completions.
+
+    The learned policy mixin implements this; the front-end calls
+    :meth:`on_feedback` exactly once per completed request, in
+    completion order (the same order the SLO tracker ingests), so two
+    same-seed runs deliver byte-identical feedback streams.
+    """
+
+    def on_feedback(self, event: FeedbackEvent) -> None:
+        """Observe one completed request."""
+        raise NotImplementedError
+
+
+def wire_feedback(frontend, extra: Iterable[Any] = ()) -> None:
+    """Attach every learned policy of ``frontend`` (+ ``extra``) as a hook.
+
+    Policies are recognized by the ``learned = True`` class flag the
+    learned mixin sets; static policies are left alone, so a run without
+    learned policies keeps an empty hook list (and its byte-identical
+    completion path).  ``extra`` carries policies living outside the
+    front-end — the cluster's fleet-level placement policy.
+    """
+    for policy in (frontend.admission, frontend.dispatch_policy, *extra):
+        if getattr(policy, "learned", False):
+            frontend.feedback_hooks.append(policy)
+
+
+def learned_snapshot(policies: Mapping[str, Any]
+                     ) -> Optional[Dict[str, Any]]:
+    """Per-domain state snapshots of the learned policies in ``policies``.
+
+    Returns ``None`` when no policy is learned, so report fields
+    following the emit-only-when-set discipline stay unset on static
+    runs (legacy goldens byte-identical).
+    """
+    snapshot = {domain: policy.state_snapshot()
+                for domain, policy in policies.items()
+                if getattr(policy, "learned", False)}
+    return snapshot or None
+
+
+__all__ = [
+    "FeedbackEvent",
+    "FeedbackHook",
+    "learned_snapshot",
+    "wire_feedback",
+]

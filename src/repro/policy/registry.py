@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import importlib
 import inspect
-from typing import Any, Callable, Dict, List, Mapping, Optional, Type
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from .spec import PolicySpec
 
@@ -40,13 +40,16 @@ POLICY_DOMAINS = ("scheduler", "admission", "dispatch", "placement",
                   "autoscaler")
 
 #: Where each domain's built-in policies register themselves; imported
-#: lazily on first lookup so the registry stays import-cycle-free.
-DOMAIN_MODULES: Dict[str, str] = {
-    "scheduler": "repro.core.schedulers",
-    "admission": "repro.serve.admission",
-    "dispatch": "repro.serve.dispatch",
-    "placement": "repro.cluster.placement",
-    "autoscaler": "repro.cluster.autoscale",
+#: lazily on first lookup so the registry stays import-cycle-free.  A
+#: domain may list several home modules — the learned species
+#: (:mod:`repro.policy.learned`) registers admission/dispatch/placement
+#: policies alongside the static built-ins.
+DOMAIN_MODULES: Dict[str, Tuple[str, ...]] = {
+    "scheduler": ("repro.core.schedulers",),
+    "admission": ("repro.serve.admission", "repro.policy.learned"),
+    "dispatch": ("repro.serve.dispatch", "repro.policy.learned"),
+    "placement": ("repro.cluster.placement", "repro.policy.learned"),
+    "autoscaler": ("repro.cluster.autoscale",),
 }
 
 #: Alternate spellings accepted by lookups, kept for the legacy string
@@ -99,10 +102,9 @@ def register_policy(domain: str,
 
 
 def ensure_domain_loaded(domain: str) -> None:
-    """Import the module that registers ``domain``'s built-in policies."""
+    """Import the modules that register ``domain``'s built-in policies."""
     _check_domain(domain)
-    module = DOMAIN_MODULES.get(domain)
-    if module is not None:
+    for module in DOMAIN_MODULES.get(domain, ()):
         importlib.import_module(module)
 
 
@@ -183,6 +185,51 @@ def build_policy(domain: str, spec: Any, **context: Any) -> Any:
                 f"valid parameters: {sorted(accepted)}")
     kwargs.update(spec.params)
     return cls(**kwargs)
+
+
+def policy_is_learned(domain: str, spec: Any) -> bool:
+    """Whether ``spec`` names a learned (feedback-driven) policy.
+
+    The species flag, not a name list: any class registering with
+    ``learned = True`` is recognized by the fast-forward refusal, the
+    parallel-session guard and the grid's cache-key resolution.
+    """
+    spec = PolicySpec.coerce(spec)
+    return bool(getattr(policy_class(domain, spec.name), "learned", False))
+
+
+def resolved_policy_spec(domain: str, spec: Any) -> PolicySpec:
+    """``spec`` with cache-relevant defaults materialized for learned cells.
+
+    Static policies pass through untouched, so every pre-existing
+    serialized form — and every cache key derived from it — stays
+    byte-identical.  For the learned species (``learned = True`` on the
+    class) the constructor defaults *are* behavior (warm-up length,
+    exploration schedule, retrain cadence), so a bare spec is resolved to
+    carry every defaulted constructor param explicitly: a retuned default
+    can then never alias a result cached under the old default.  Params
+    named in the class's ``context_params`` (the scenario-seed plumbing)
+    are call-site context, not configuration — they stay out of the
+    resolved spec unless the caller set them explicitly, since an
+    explicit spec param would override the session's seed context.
+    """
+    spec = PolicySpec.coerce(spec)
+    cls = policy_class(domain, spec.name)
+    if not getattr(cls, "learned", False):
+        return spec
+    context = set(getattr(cls, "context_params", ()))
+    params: Dict[str, Any] = {}
+    for parameter in inspect.signature(cls.__init__).parameters.values():
+        if parameter.name == "self" or parameter.name in context:
+            continue
+        if parameter.kind not in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                  inspect.Parameter.KEYWORD_ONLY):
+            continue
+        if parameter.default is inspect.Parameter.empty:
+            continue            # required params (device_count) are context
+        params[parameter.name] = parameter.default
+    params.update(spec.params)
+    return PolicySpec(spec.name, params)
 
 
 def registered_policies(domain: str) -> Mapping[str, type]:

@@ -35,6 +35,7 @@ from heapq import heappop, heappush
 from typing import List, Optional, Tuple, Union
 
 from ..platform.config import PlatformConfig
+from ..policy import policy_is_learned
 from ..sim.fastforward import (
     AnalyticServer,
     FastForwardConfig,
@@ -171,6 +172,18 @@ class FastForwardServingSession(ServingSession):
         if scenario.process != "poisson":
             return (f"arrival process {scenario.process!r} is not "
                     f"stationary (only 'poisson' engages)")
+        admission_spec = scenario.effective_admission_spec()
+        if policy_is_learned("admission", admission_spec):
+            # A learned controller's decisions depend on the feedback
+            # stream; the analytic cruise delivers none, so its dynamic
+            # behavior would silently freeze — always run exactly.
+            return (f"learned admission policy {admission_spec.name!r} "
+                    f"adapts online (exact engine required)")
+        if scenario.dispatch_spec is not None \
+                and policy_is_learned("dispatch", scenario.dispatch_spec):
+            return (f"learned dispatch policy "
+                    f"{scenario.dispatch_spec.name!r} adapts online "
+                    f"(exact engine required)")
         if scenario.dispatch_spec is not None \
                 and scenario.dispatch_spec.name != "round_robin":
             return (f"non-default dispatch policy "

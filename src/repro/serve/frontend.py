@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence
 
+from ..policy.feedback import FeedbackEvent
 from ..sim.engine import Environment, Event
 from .admission import AdmissionController
 from .backends import ServingBackend
@@ -64,6 +65,10 @@ class ServingFrontend:
         self._tracer = env.tracer
         self.trace_device = 0
         self.obs_latency = None
+        # Learned-policy feedback (repro.policy.feedback): hooks invoked
+        # once per completion.  Empty unless the session wired learned
+        # policies, so static runs pay one truthiness check.
+        self.feedback_hooks: List = []
         self._wake: Event = env.event()
         self._dispatcher = env.process(self._dispatch_loop())
 
@@ -212,4 +217,8 @@ class ServingFrontend:
         service = record.service_s
         if service is not None and service > 0:
             self.admission.observe_service_time(service)
+        if self.feedback_hooks:
+            event = FeedbackEvent.from_record(record, self.trace_device)
+            for hook in self.feedback_hooks:
+                hook.on_feedback(event)
         self._kick()

@@ -39,6 +39,10 @@ class ServingReport:
     # Metrics-bus timeline (repro.obs); None unless the run opted into
     # observability, so default runs keep their byte form.
     metrics: Optional[Dict[str, Any]] = None
+    # Learned-policy state snapshots per domain (repro.policy.learned);
+    # None unless the run used learned policies, so static runs keep
+    # their byte form.
+    learned: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors ------------------------------------------------
     def percentile_s(self, key: str) -> Optional[float]:
@@ -101,6 +105,8 @@ class ServingReport:
             data["fastforward"] = dict(self.fastforward)
         if self.metrics is not None:
             data["metrics"] = dict(self.metrics)
+        if self.learned is not None:
+            data["learned"] = dict(self.learned)
         return data
 
     @classmethod
@@ -127,4 +133,6 @@ class ServingReport:
                          if data.get("fastforward") is not None else None),
             metrics=(dict(data["metrics"])
                      if data.get("metrics") is not None else None),
+            learned=(dict(data["learned"])
+                     if data.get("learned") is not None else None),
         )

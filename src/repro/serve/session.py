@@ -24,7 +24,13 @@ from ..core.accelerator import FlashAbacusAccelerator
 from ..core.kernel import Kernel
 from ..obs import MetricsBus, ObsConfig, Tracer, wire_serving_metrics
 from ..platform.config import PlatformConfig
-from ..policy import PolicySpec, build_policy, policy_class
+from ..policy import (
+    PolicySpec,
+    build_policy,
+    learned_snapshot,
+    policy_class,
+    wire_feedback,
+)
 from ..workloads.characteristics import lookup
 from ..workloads.polybench import (
     DEFAULT_SCREENS_PER_MICROBLOCK,
@@ -295,8 +301,14 @@ class ServingScenario:
         return PolicySpec(self.admission)
 
     def make_admission(self):
-        """Instantiate the scenario's admission controller."""
-        return build_policy("admission", self.effective_admission_spec())
+        """Instantiate the scenario's admission controller.
+
+        The scenario seed is offered as context so learned policies
+        derive their exploration RNG from it; static policies do not
+        name a ``seed`` param and never see it.
+        """
+        return build_policy("admission", self.effective_admission_spec(),
+                            seed=self.seed)
 
     def make_dispatch(self):
         """Instantiate the scenario's tenant-dispatch policy.
@@ -304,13 +316,15 @@ class ServingScenario:
         ``dispatch_spec`` when set, else round-robin (the pre-policy-layer
         behavior).  The scenario's tenant weights are offered as context
         defaults, so ``weighted_fair`` without an explicit ``weights``
-        param follows the traffic shares of the tenant specs.
+        param follows the traffic shares of the tenant specs; the seed
+        context feeds learned policies' exploration RNG.
         """
         spec = self.dispatch_spec if self.dispatch_spec is not None \
             else PolicySpec("round_robin")
         return build_policy(
             "dispatch", spec,
-            weights={t.name: t.weight for t in self.tenants})
+            weights={t.name: t.weight for t in self.tenants},
+            seed=self.seed)
 
     # ------------------------------------------------------------------ #
     # Serialization                                                       #
@@ -424,6 +438,9 @@ class ServingSession:
         self.obs = obs
         self.tracer: Optional[Tracer] = None
         self.metrics = None
+        # The last run's front-end: learned-policy snapshots and the
+        # learning-curve evaluator read its records after the run.
+        self.frontend: Optional[ServingFrontend] = None
 
     def _build_backend(self) -> ServingBackend:
         return build_serving_backend(self.scenario, self.config)
@@ -448,6 +465,8 @@ class ServingSession:
         frontend = ServingFrontend(env, backend, scenario.make_admission(),
                                    tracker, tenants,
                                    dispatch=scenario.make_dispatch())
+        wire_feedback(frontend)
+        self.frontend = frontend
         bus: Optional[MetricsBus] = None
         if obs is not None and obs.metrics:
             bus = MetricsBus(cadence_s=obs.cadence_s)
@@ -474,6 +493,9 @@ class ServingSession:
         if bus is not None:
             self.metrics = bus.timeline
             report.metrics = bus.timeline.to_dict()
+        report.learned = learned_snapshot({
+            "admission": frontend.admission,
+            "dispatch": frontend.dispatch_policy})
         return report
 
     # ------------------------------------------------------------------ #

@@ -62,6 +62,22 @@ def test_serving_report_golden(update_goldens):
     check_golden("serving_report", payload, update=update_goldens)
 
 
+def test_learned_serving_report_golden(update_goldens):
+    """Pins the learned snapshot (model coefficients, exploration and
+    feedback counters) along with the ordinary metrics, so a drift in
+    the exploration schedule or the ridge solver is fixture-visible."""
+    from repro.policy import PolicySpec
+
+    scenario = SCENARIO.with_overrides(
+        admission_spec=PolicySpec("adaptive_admission"),
+        dispatch_spec=PolicySpec("epsilon_greedy_dispatch"))
+    report = ServingSession(scenario, DEVICE).run()
+    payload = roundtrip(ServingReport, report)
+    assert "learned" in payload
+    check_golden("learned_serving_report", payload,
+                 update=update_goldens)
+
+
 def test_cluster_report_golden(update_goldens):
     cluster = ClusterConfig.homogeneous(
         2, DEVICE, placement="least_outstanding",

@@ -90,6 +90,41 @@ def test_cluster_conservation_survives_device_failure():
         sum(device.energy_j for device in report.devices))
 
 
+def test_learned_feedback_accounting_is_conserved():
+    """Feedback events == completed requests: one event per completion,
+    no event for rejects, no double-count on reroutes."""
+    from repro.policy import PolicySpec
+
+    scenario = SCENARIO.with_overrides(
+        admission_spec=PolicySpec("adaptive_admission"),
+        dispatch_spec=PolicySpec("epsilon_greedy_dispatch"))
+    cluster = ClusterConfig.homogeneous(
+        3, DEVICE, placement_spec=PolicySpec("linucb_placement"),
+        faults=(FaultSpec(0.15, 1, "failed"),))
+    report = run_cluster(scenario.with_overrides(offered_rps=1500.0),
+                         cluster)
+    assert_report_conserved(report)
+    assert report.reroutes > 0      # the failure path actually fired
+    # The fleet-level placement bandit is wired to every shard
+    # front-end, so it hears exactly one feedback event per completion
+    # fleet-wide, pops every routed request, and saw each queued-request
+    # migration exactly once (a rerouted request still learns once).
+    placement = report.learned["placement"]
+    assert placement["feedback_events"] == report.completed
+    assert placement["reroute_events"] == report.reroutes
+    # Placement selects a shard *before* that shard's admission rules,
+    # so routed-then-rejected requests leave pending entries no feedback
+    # ever pops; at drain the leftovers are exactly the rejects.
+    assert placement["pending"] == report.rejected
+    # Per-shard learned admission/dispatch snapshots live in the device
+    # reports; each shard hears its own completions, which sum to the
+    # fleet total.
+    for domain in ("admission", "dispatch"):
+        per_shard = [device.learned[domain]["feedback_events"]
+                     for device in report.devices]
+        assert sum(per_shard) == report.completed, domain
+
+
 def test_mid_run_conservation_at_every_event():
     """offered == rejected + completed + queued + in-flight, at all times."""
     env = Environment()

@@ -70,12 +70,14 @@ def test_registry_contents_match_the_five_families():
     assert set(policy_names("scheduler")) == {
         "InterSt", "InterDy", "IntraIo", "IntraO3"}
     assert set(policy_names("admission")) == {
-        "none", "queue_depth", "deadline", "token_bucket"}
+        "none", "queue_depth", "deadline", "token_bucket",
+        "adaptive_admission"}
     assert set(policy_names("dispatch")) == {
-        "round_robin", "weighted_fair", "strict_priority"}
+        "round_robin", "weighted_fair", "strict_priority",
+        "epsilon_greedy_dispatch"}
     assert set(policy_names("placement")) == {
         "round_robin", "least_outstanding", "tenant_affinity",
-        "power_aware", "join_shortest_queue"}
+        "power_aware", "join_shortest_queue", "linucb_placement"}
     assert set(policy_names("autoscaler")) == {
         "queue_depth_threshold", "p99_target"}
 

@@ -164,6 +164,54 @@ def test_parameterized_cells_stay_distinguishable():
            "queue_depth{max_tenant_depth=64}/round_robin/round_robin" in text
 
 
+def test_learned_axis_entries_resolve_to_explicit_default_cache_keys():
+    """A bare learned axis entry and one spelling out the constructor
+    defaults are the *same* cell (same cache key): defaults are behavior
+    for the learned species, so a since-retuned default can never be
+    served a result cached under the old one."""
+    from repro.policy import resolved_policy_spec
+
+    def keys(admissions):
+        grid = policy_grid_specs(
+            schedulers=("IntraO3",), admissions=admissions,
+            dispatches=("round_robin",), placements=("round_robin",),
+            scenario=SCENARIO, device_config=DEVICE)
+        return [spec.key for _, spec in grid]
+
+    explicit = resolved_policy_spec("admission", "adaptive_admission")
+    assert explicit.params["warmup"] == 32      # defaults materialized
+    assert keys(["adaptive_admission"]) == keys([explicit])
+    # A tuned warm-up is a different cell; so is any other learned knob.
+    assert keys([PolicySpec("adaptive_admission", {"warmup": 2})]) \
+        != keys(["adaptive_admission"])
+    # Static entries keep their legacy spelling (and cache keys): a bare
+    # static name must NOT grow explicit params.
+    grid = policy_grid_specs(
+        schedulers=("IntraO3",), admissions=("deadline",),
+        dispatches=("round_robin",), placements=("round_robin",),
+        scenario=SCENARIO, device_config=DEVICE)
+    (combo, _), = grid
+    assert combo.admission == PolicySpec("deadline")
+
+
+def test_heterogeneous_devices_axis_builds_per_device_fleets():
+    slow = DEVICE.with_overrides(input_scale=0.06)
+    grid = policy_grid_specs(
+        schedulers=("IntraO3",), admissions=("queue_depth",),
+        dispatches=("round_robin",), placements=("round_robin",),
+        scenario=SCENARIO, devices=(DEVICE, DEVICE, slow))
+    (_, spec), = grid
+    assert [d.input_scale for d in spec.cluster.devices] \
+        == [0.01, 0.01, 0.06]
+    # The scheduler axis still applies fleet-wide.
+    assert {d.system for d in spec.cluster.devices} == {"IntraO3"}
+    with pytest.raises(ValueError):
+        policy_grid_specs(scenario=SCENARIO, devices=(DEVICE,),
+                          device_config=DEVICE)     # mutually exclusive
+    with pytest.raises(ValueError):
+        policy_grid_specs(scenario=SCENARIO, devices=())
+
+
 def test_best_by_goodput_sentinels():
     assert best_by_goodput([]) is None
     point = PolicyGridPoint("IntraO3", "none", "round_robin",
