@@ -10,6 +10,7 @@ admitted request.
 """
 
 from repro.cluster import run_cluster
+from repro.cluster.parallel import ParallelConfig
 from repro.eval import format_scaling_sweep, scaling_sweep
 from repro.platform import ClusterConfig, FaultSpec, PlatformConfig
 from repro.serve import ServingScenario, TenantSpec
@@ -33,10 +34,14 @@ DEVICE = PlatformConfig(system="IntraO3", input_scale=CLUSTER_INPUT_SCALE)
 
 def test_cluster_scaling_sweep(benchmark):
     """Fleet goodput scales >= 1.8x (1 -> 2) and >= 3x (1 -> 4)."""
+    # The sweep's round-robin cells are eligible for the epoch-parallel
+    # runner (byte-identical reports, shared cache entries with serial),
+    # so the CI smoke exercises the parallel path end to end.
     points = run_once(
         benchmark, scaling_sweep, CLUSTER_DEVICE_COUNTS,
         CLUSTER_OFFERED_RPS, scenario=SCENARIO, device_config=DEVICE,
-        orchestrator=BENCH_ORCHESTRATOR)
+        orchestrator=BENCH_ORCHESTRATOR,
+        parallel_config=ParallelConfig())
     print("\n" + format_scaling_sweep(points, slo_s=CLUSTER_SLO_S))
     by_count = {p.device_count: p for p in points}
     single = by_count[1]

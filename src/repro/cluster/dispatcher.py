@@ -148,27 +148,12 @@ class ClusterDispatcher:
         if not evicted:
             return True
         targets = self.routable_shards()
-        tracer = self._tracer
-        now = self.env.now
         if not targets:
             victim.draining = False
             for record in evicted:
                 victim.frontend.enqueue_record(record)
             return False
-        victim.rerouted_out += len(evicted)
-        self.reroutes += len(evicted)
-        for record in evicted:
-            target = self.policy.select(record.request, targets)
-            target.rerouted_in += 1
-            record.reroutes += 1
-            self.policy.on_reroute(record, victim.index, target.index)
-            if tracer is not None:
-                rid = record.request.request_id
-                tenant = record.request.tenant
-                tracer.span(now, "evict", rid, tenant, victim.index)
-                tracer.span(now, "reroute", rid, tenant,
-                            target.index, victim.index)
-            target.frontend.enqueue_record(record)
+        self._place_evicted(victim, evicted, targets)
         return True
 
     @property
@@ -226,17 +211,33 @@ class ClusterDispatcher:
                                 failed.index, failed.index)
                 failed.frontend.enqueue_record(record)
             return
-        failed.rerouted_out += len(evicted)
+        self._place_evicted(failed, evicted, targets)
+
+    def _place_evicted(self, origin: DeviceShard,
+                       evicted: List[RequestRecord],
+                       targets: List[DeviceShard]) -> None:
+        """Re-place an evicted backlog onto routable peers.
+
+        The one reroute loop shared by the fault path
+        (:meth:`set_health` on FAILED) and the scale-down path
+        (:meth:`drain_shard`): per record, the placement policy picks a
+        target from the routable set captured at eviction time, counters
+        bump on both sides, and the policy is notified so learned
+        placements can penalize the move.
+        """
+        origin.rerouted_out += len(evicted)
         self.reroutes += len(evicted)
+        tracer = self._tracer
+        now = self.env.now
         for record in evicted:
             target = self.policy.select(record.request, targets)
             target.rerouted_in += 1
             record.reroutes += 1
-            self.policy.on_reroute(record, failed.index, target.index)
+            self.policy.on_reroute(record, origin.index, target.index)
             if tracer is not None:
                 rid = record.request.request_id
                 tenant = record.request.tenant
-                tracer.span(now, "evict", rid, tenant, failed.index)
+                tracer.span(now, "evict", rid, tenant, origin.index)
                 tracer.span(now, "reroute", rid, tenant,
-                            target.index, failed.index)
+                            target.index, origin.index)
             target.frontend.enqueue_record(record)

@@ -34,7 +34,7 @@ import warnings
 from typing import Protocol, Sequence
 
 from ..platform.cluster import PLACEMENT_POLICIES
-from ..policy import build_policy, register_policy
+from ..policy import PolicySpec, build_policy, policy_class, register_policy
 from ..serve.request import Request
 
 
@@ -64,6 +64,18 @@ class PlacementPolicy:
 
     name = "placement"
 
+    #: Whether ``select`` reads the shards' load/energy state (queue
+    #: depth, in-flight count, capacity, accumulated energy) as opposed
+    #: to only their identity (index, routability).  The epoch-parallel
+    #: runner keys its epoch schedule off this: a snapshot-independent
+    #: policy routes identically no matter how stale the coordinator's
+    #: shard snapshots are, so epochs may widen to the next cross-shard
+    #: event (fault or horizon); a snapshot-dependent policy needs the
+    #: fixed exchange cadence for fresh snapshots.  Conservative default:
+    #: policies that do not declare themselves independent are treated as
+    #: snapshot-dependent.
+    snapshot_dependent = True
+
     def select(self, request: Request,
                shards: Sequence[ShardView]) -> ShardView:
         """Pick the shard ``request`` is routed to."""
@@ -83,6 +95,7 @@ class RoundRobinPlacement(PlacementPolicy):
     """Cycle over device indices, skipping non-routable devices."""
 
     name = "round_robin"
+    snapshot_dependent = False    # routes by cursor + routability only
 
     def __init__(self, device_count: int):
         if device_count < 1:
@@ -129,6 +142,7 @@ class TenantAffinityPlacement(PlacementPolicy):
     """
 
     name = "tenant_affinity"
+    snapshot_dependent = False    # routes by tenant hash + routability only
 
     def __init__(self, device_count: int, salt: int = 0):
         if device_count < 1:
@@ -180,6 +194,19 @@ class JoinShortestQueuePlacement(PlacementPolicy):
                shards: Sequence[ShardView]) -> ShardView:
         """The shard with the shortest queue."""
         return min(shards, key=lambda s: (s.queued, s.index))
+
+
+def placement_snapshot_dependent(spec) -> bool:
+    """Whether ``spec`` names a placement policy that reads shard state.
+
+    Resolved from the class flag (like :func:`~repro.policy.registry.
+    policy_is_learned`), not a name list, so third-party policies are
+    classified by what they declare — and, defaulting to ``True``, are
+    treated conservatively when they declare nothing.
+    """
+    spec = PolicySpec.coerce(spec)
+    return bool(getattr(policy_class("placement", spec.name),
+                        "snapshot_dependent", True))
 
 
 def make_placement(name: str, device_count: int,

@@ -189,8 +189,7 @@ class ClusterSession:
                 shard.backend.finish()
         # Drain background work (Storengine flush/GC) on every device so
         # energy accounting covers every byte served fleet-wide.
-        while env.peek() != float("inf"):
-            env.step()
+        env.run()
         check_fleet_health()
         report = self._assemble_report(env, shards, dispatcher, fleet)
         if bus is not None:

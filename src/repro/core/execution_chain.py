@@ -7,6 +7,16 @@ screens are *ready*: no screen of microblock ``i+1`` may start before every
 screen of microblock ``i`` in the same kernel has completed — this is the
 only data-dependency rule FlashAbacus enforces (dependencies only exist
 among the microblocks within an application's kernel, Section 4.2).
+
+Completion state is tracked incrementally: every ``mark_done`` bumps a
+done-counter on the screen's node and chain, completed chains retire
+from a per-app incomplete registry, and ``current_node`` advances a
+monotonic cursor.  Serving runs offload one kernel per request, so
+without retirement every scheduler poll re-scanned every chain ever
+completed — O(requests²) over a run (it dominated cluster-run
+profiles).  All queries return exactly what the full scans returned:
+screens only become ready in a chain's current node and a DONE screen
+never reverts, so completion is monotone per node, chain and app.
 """
 
 from __future__ import annotations
@@ -38,6 +48,10 @@ class ScreenNode:
     #: Set as soon as a scheduler hands the screen to a worker, before the
     #: worker has actually started it, so no other worker can claim it.
     claimed: bool = False
+    #: Back-reference to the owning node (set by the node), so
+    #: ``mark_done`` can bump the node's done-counter without a scan.
+    parent: Optional["MicroblockNode"] = field(default=None, repr=False,
+                                               compare=False)
 
 
 @dataclass
@@ -47,15 +61,22 @@ class MicroblockNode:
     kernel: Kernel
     microblock: Microblock
     screens: List[ScreenNode] = field(default_factory=list)
+    #: Count of DONE screens, maintained by ``mark_done`` (all status
+    #: transitions go through the chain API, so it cannot go stale).
+    _done: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.screens:
             self.screens = [ScreenNode(screen=s)
                             for s in self.microblock.screens]
+        self._done = sum(1 for s in self.screens
+                         if s.status is ScreenStatus.DONE)
+        for node in self.screens:
+            node.parent = self
 
     @property
     def complete(self) -> bool:
-        return all(s.status is ScreenStatus.DONE for s in self.screens)
+        return self._done >= len(self.screens)
 
     @property
     def started(self) -> bool:
@@ -74,21 +95,36 @@ class KernelChain:
     nodes: List[MicroblockNode] = field(default_factory=list)
     offloaded_at: float = 0.0
     completed_at: Optional[float] = None
+    #: Count of DONE screens across all nodes (``mark_done`` maintains
+    #: it) and the index of the first possibly-incomplete node.  Nodes
+    #: before the cursor are complete; completion is monotone, so the
+    #: cursor only ever advances.
+    _done: int = field(default=0, init=False, repr=False, compare=False)
+    _total: int = field(default=0, init=False, repr=False, compare=False)
+    _cursor: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.nodes:
             self.nodes = [MicroblockNode(kernel=self.kernel, microblock=m)
                           for m in self.kernel.microblocks]
+        self._done = sum(node._done for node in self.nodes)
+        self._total = sum(len(node.screens) for node in self.nodes)
 
     @property
     def complete(self) -> bool:
-        return all(node.complete for node in self.nodes)
+        return self._done >= self._total
 
     def current_node(self) -> Optional[MicroblockNode]:
         """The earliest node that is not yet complete (None when done)."""
-        for node in self.nodes:
+        nodes = self.nodes
+        cursor = self._cursor
+        while cursor < len(nodes):
+            node = nodes[cursor]
             if not node.complete:
+                self._cursor = cursor
                 return node
+            cursor += 1
+        self._cursor = cursor
         return None
 
     def ready_screens(self) -> List[Tuple[MicroblockNode, ScreenNode]]:
@@ -111,12 +147,21 @@ class MultiAppExecutionChain:
     def __init__(self) -> None:
         self._per_app: Dict[int, List[KernelChain]] = {}
         self._by_kernel: Dict[int, KernelChain] = {}
+        # Incomplete chains per app, in insertion order (dicts keyed by
+        # object id: O(1) retirement in mark_done without disturbing
+        # order).  Scheduler polls iterate these instead of every chain
+        # ever offloaded.
+        self._incomplete: Dict[int, Dict[int, KernelChain]] = {}
+        self._incomplete_count = 0
 
     # -- construction ----------------------------------------------------------
     def add_kernel(self, kernel: Kernel, now: float = 0.0) -> KernelChain:
         chain = KernelChain(kernel=kernel, offloaded_at=now)
         self._per_app.setdefault(kernel.app_id, []).append(chain)
         self._by_kernel[kernel.kernel_id] = chain
+        if not chain.complete:    # zero-screen kernels are born complete
+            self._incomplete.setdefault(kernel.app_id, {})[id(chain)] = chain
+            self._incomplete_count += 1
         return chain
 
     # -- lookup -----------------------------------------------------------------
@@ -136,14 +181,36 @@ class MultiAppExecutionChain:
     # -- status ---------------------------------------------------------------
     @property
     def complete(self) -> bool:
-        return all(chain.complete for chain in self.all_chains())
+        return self._incomplete_count == 0
+
+    def incomplete_chains(self) -> Iterator[KernelChain]:
+        """Incomplete chains in :meth:`all_chains` order.
+
+        Exactly the subsequence of :meth:`all_chains` whose chains are
+        not yet complete — completed chains would contribute nothing to
+        a readiness scan, so iterating this instead is behaviorally
+        identical and O(live work) rather than O(history).
+        """
+        for app_id in sorted(self._incomplete):
+            chains = self._incomplete[app_id]
+            if chains:
+                yield from chains.values()
+
+    def first_incomplete(self) -> Optional[KernelChain]:
+        """The first incomplete chain in :meth:`all_chains` order."""
+        return next(self.incomplete_chains(), None)
 
     def ready_screens(self) -> List[Tuple[KernelChain, MicroblockNode, ScreenNode]]:
         """All screens that may start now, across every app and kernel."""
         ready = []
-        for chain in self.all_chains():
-            for node, screen in chain.ready_screens():
-                ready.append((chain, node, screen))
+        for chain in self.incomplete_chains():
+            node = chain.current_node()
+            if node is None:
+                continue
+            for screen in node.screens:
+                if screen.status is ScreenStatus.PENDING \
+                        and not screen.claimed:
+                    ready.append((chain, node, screen))
         return ready
 
     def mark_running(self, screen_node: ScreenNode, lwp_id: int,
@@ -160,8 +227,16 @@ class MultiAppExecutionChain:
             raise ValueError("screen is not running")
         screen_node.status = ScreenStatus.DONE
         screen_node.completed_at = now
-        if chain.complete and chain.completed_at is None:
-            chain.completed_at = now
+        parent = screen_node.parent
+        if parent is not None:
+            parent._done += 1
+        chain._done += 1
+        if chain.complete:
+            if chain.completed_at is None:
+                chain.completed_at = now
+            app = self._incomplete.get(chain.kernel.app_id)
+            if app is not None and app.pop(id(chain), None) is not None:
+                self._incomplete_count -= 1
 
     # -- metrics --------------------------------------------------------------
     def kernel_latencies(self) -> List[float]:

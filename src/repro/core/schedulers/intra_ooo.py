@@ -49,11 +49,7 @@ class OutOfOrderIntraKernelScheduler(Scheduler):
         chain, node, screen = ready[0]
         # A dispatch is "borrowed" when it does not belong to the oldest
         # incomplete kernel — the out-of-order behaviour of Figure 7c.
-        oldest_incomplete = None
-        for candidate in self.chain.all_chains():
-            if not candidate.complete:
-                oldest_incomplete = candidate
-                break
+        oldest_incomplete = self.chain.first_incomplete()
         if oldest_incomplete is not None and chain is not oldest_incomplete:
             self.borrowed_dispatches += 1
         self.dispatches += 1

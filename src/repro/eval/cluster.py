@@ -22,6 +22,7 @@ from functools import cached_property
 from typing import List, Optional, Sequence
 
 from ..cluster.parallel import ParallelClusterSession, ParallelConfig
+from ..cluster.placement import placement_snapshot_dependent
 from ..cluster.report import ClusterReport
 from ..cluster.session import ClusterSession
 from ..obs import ObsConfig
@@ -50,10 +51,13 @@ class ClusterExperimentSpec:
 
     scenario: ServingScenario
     cluster: ClusterConfig
-    #: Optional epoch-parallel execution (None = serial session).  Only
-    #: the *semantic* knob (``epoch_s``) folds into the cache key: the
-    #: worker count is an execution strategy and reports are
-    #: worker-count-independent by contract.
+    #: Optional epoch-parallel execution (None = serial session).  Folds
+    #: into the cache key only when it can change the report payload:
+    #: snapshot-independent placement (round-robin, tenant-affinity) is
+    #: byte-identical to serial, so those specs *alias* the serial cache
+    #: entry; snapshot-dependent placement routes on epoch snapshots, so
+    #: its ``epoch_s`` is semantic and re-keys the entry.  The worker
+    #: count is always pure execution strategy.
     parallel: Optional[ParallelConfig] = None
     #: Optional observability (None = no tracing/metrics).  Changes the
     #: report payload (the ``metrics`` timeline), so it folds into the
@@ -65,16 +69,39 @@ class ClusterExperimentSpec:
         payload = {"scenario": self.scenario.to_dict(),
                    "cluster": self.cluster.config_hash(),
                    "revision": CACHE_REVISION}
-        # Folded in only when set, so pre-parallel specs keep their
-        # cache keys byte-identical.
-        if self.parallel is not None:
-            payload["parallel"] = self.parallel.to_dict()
+        # Folded in only when the parallel strategy can change the
+        # payload; byte-identical-to-serial runs share the serial cache
+        # entry, and pre-parallel specs keep their keys byte-identical.
+        # behavior_rev re-keys snapshot-dependent entries whenever the
+        # epoch runner's observable routing behaviour changes (rev 2:
+        # fault-time boundaries + exact-instant backlog adoption).
+        if self._parallel_affects_results():
+            payload["parallel"] = dict(self.parallel.to_dict(),
+                                       behavior_rev=2)
         if self.obs is not None:
             payload["obs"] = self.obs.to_dict()
         canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
         return ExperimentKey(self.cluster.label, self.scenario.label, digest)
+
+    def _parallel_affects_results(self) -> bool:
+        """Whether the parallel config can change the report payload.
+
+        Mirrors :meth:`execute`'s fallback chain: runs that fall back to
+        the serial session (observability, elastic, learned) produce the
+        serial payload regardless of the parallel config, and
+        snapshot-independent placement produces it byte-identically even
+        on the parallel path.
+        """
+        if self.parallel is None:
+            return False
+        if self.obs is not None and self.obs.enabled:
+            return False
+        if self.cluster.elastic or self._uses_learned_policy():
+            return False
+        return placement_snapshot_dependent(
+            self.cluster.placement_policy_spec())
 
     def _uses_learned_policy(self) -> bool:
         """Whether any domain of this run selects a learned policy."""
@@ -161,16 +188,23 @@ def scaling_specs(device_counts: Sequence[int],
                   offered_rps: float,
                   scenario: Optional[ServingScenario] = None,
                   device_config: Optional[PlatformConfig] = None,
-                  placement: str = "round_robin"
+                  placement: str = "round_robin",
+                  parallel_config: Optional[ParallelConfig] = None
                   ) -> List[ClusterExperimentSpec]:
-    """The [spec per device count] column of one scaling sweep."""
+    """The [spec per device count] column of one scaling sweep.
+
+    ``parallel_config`` opts the sweep's cells into the epoch-parallel
+    runner; with the default round-robin placement that is purely an
+    execution strategy (byte-identical reports, shared cache entries).
+    """
     base_scenario = scenario if scenario is not None else ServingScenario()
     base_scenario = base_scenario.with_overrides(offered_rps=offered_rps)
     device = device_config if device_config is not None else PlatformConfig()
     return [ClusterExperimentSpec(
                 scenario=base_scenario,
                 cluster=ClusterConfig.homogeneous(count, device,
-                                                  placement=placement))
+                                                  placement=placement),
+                parallel=parallel_config)
             for count in device_counts]
 
 
@@ -180,7 +214,9 @@ def scaling_sweep(device_counts: Sequence[int],
                   device_config: Optional[PlatformConfig] = None,
                   placement: str = "round_robin",
                   orchestrator: Optional[ExperimentOrchestrator] = None,
-                  parallel: Optional[bool] = None) -> List[ScalingPoint]:
+                  parallel: Optional[bool] = None,
+                  parallel_config: Optional[ParallelConfig] = None
+                  ) -> List[ScalingPoint]:
     """Fleet goodput and tail latency vs. device count at fixed load.
 
     Every device count is one cluster experiment submitted through the
@@ -195,7 +231,7 @@ def scaling_sweep(device_counts: Sequence[int],
     orch = orchestrator if orchestrator is not None else \
         default_orchestrator()
     specs = scaling_specs(device_counts, offered_rps, scenario,
-                          device_config, placement)
+                          device_config, placement, parallel_config)
     reports = orch.run(specs, parallel=parallel)
     points = [ScalingPoint.from_report(reports[spec.key]) for spec in specs]
     return sorted(points, key=lambda p: p.device_count)

@@ -21,6 +21,7 @@ from ..platform.cluster import ClusterConfig, FaultSpec
 from ..platform.config import PlatformConfig
 from ..policy import PolicySpec
 from ..serve.session import ServingScenario, TenantSpec
+from ..cluster.parallel import ParallelConfig
 from .cluster import ClusterExperimentSpec
 from .orchestrator import ExperimentOrchestrator, default_orchestrator
 
@@ -255,8 +256,13 @@ def elastic_comparison(scenario: ServingScenario, label: str,
                               max_devices, autoscaler, warmup_s,
                               interval_s, faults)
     static = ClusterConfig.homogeneous(max_devices, device, faults=faults)
+    # The elastic cell needs the serial session (the fleet resizes
+    # mid-run); the static reference is a fixed round-robin fleet, so it
+    # takes the epoch-parallel path — byte-identical by contract, and
+    # key-aliased to the serial cache entry.
     specs = [ClusterExperimentSpec(scenario=scenario, cluster=elastic),
-             ClusterExperimentSpec(scenario=scenario, cluster=static)]
+             ClusterExperimentSpec(scenario=scenario, cluster=static,
+                                   parallel=ParallelConfig())]
     reports = orch.run(specs)
     return ElasticComparison(
         scenario=label,

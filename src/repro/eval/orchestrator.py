@@ -366,13 +366,24 @@ class ExperimentOrchestrator:
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
-                 workers: int = 1):
+                 workers: int = 1, persistent_workers: bool = True):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.cache = ResultCache(cache_dir)
         self.workers = workers
+        #: Keep one worker pool alive across :meth:`run` calls.  A sweep
+        #: is many small ``run()`` batches (one per sweep point); paying
+        #: the fork + interpreter warm-up per batch used to dominate
+        #: short batches.  Reused workers also keep their platform
+        #: template cache (:mod:`repro.platform.builder`) warm across
+        #: sweep points that share a device config.  ``False`` restores
+        #: the one-pool-per-run behaviour, where fork-started workers
+        #: inherit the pending specs by index and nothing is pickled.
+        self.persistent_workers = persistent_workers
         self.registry: Dict[ExperimentKey, Any] = {}
         self.simulations_run = 0
+        self._pool: Optional[Any] = None
+        self.pool_launches = 0
 
     @classmethod
     def from_env(cls, default_workers: int = 1,
@@ -426,6 +437,46 @@ class ExperimentOrchestrator:
         return self.registry.get(key)
 
     # ------------------------------------------------------------------ #
+    # Worker pool lifecycle                                                #
+    # ------------------------------------------------------------------ #
+    def _pool_context(self):
+        """The preferred multiprocessing context for worker pools."""
+        # Prefer fork only on Linux, where it is both safe and fast;
+        # elsewhere (macOS defaults to spawn because forking a threaded
+        # parent is unsafe) respect the platform default.
+        if sys.platform.startswith("linux") \
+                and "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork"), True
+        return multiprocessing.get_context(), False
+
+    def _ensure_pool(self):
+        """The persistent worker pool, launched on first parallel run."""
+        if self._pool is None:
+            ctx, _ = self._pool_context()
+            self._pool = ctx.Pool(processes=self.workers)
+            self.pool_launches += 1
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        Safe to call mid-sweep: the next parallel :meth:`run` simply
+        launches a fresh pool.  Also the exception path's cleanup — a
+        pool whose workers died is discarded rather than reused.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "ExperimentOrchestrator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Execution                                                            #
     # ------------------------------------------------------------------ #
     def run(self, specs: Sequence[Any],
@@ -456,17 +507,23 @@ class ExperimentOrchestrator:
         # parallel=True cannot fan out beyond it (workers=1 stays serial).
         use_pool = (parallel if parallel is not None else True) \
             and self.workers > 1 and len(pending) > 1
-        if use_pool:
-            # Prefer fork only on Linux, where it is both safe and fast;
-            # elsewhere (macOS defaults to spawn because forking a threaded
-            # parent is unsafe) respect the platform default.
-            if sys.platform.startswith("linux") \
-                    and "fork" in multiprocessing.get_all_start_methods():
-                ctx = multiprocessing.get_context("fork")
-                use_fork = True
-            else:
-                ctx = multiprocessing.get_context()
-                use_fork = False
+        if use_pool and self.persistent_workers:
+            # Reused pool: workers were forked before these specs
+            # existed, so tasks ship the spec itself (pickled) instead
+            # of a fork-inherited index.  Chunked like the fresh-pool
+            # path; a pool whose map machinery itself fails (worker
+            # killed, unpicklable task) is torn down so the next run
+            # starts clean instead of deadlocking on a broken pool.
+            pool = self._ensure_pool()
+            chunksize = max(1, len(pending) // (self.workers * 2))
+            try:
+                outcomes = pool.map(_execute_spec_in_pool, pending,
+                                    chunksize=chunksize)
+            except BaseException:
+                self.close()
+                raise
+        elif use_pool:
+            ctx, use_fork = self._pool_context()
             processes = min(self.workers, len(pending))
             # Chunked submission: hand each worker a batch instead of one
             # task per IPC round-trip, while keeping at least ~2 chunks

@@ -11,10 +11,12 @@ regression policy.
 from .regression import (
     ENGINE_SPEEDUP_THRESHOLD,
     FASTFORWARD_SPEEDUP_THRESHOLD,
+    PARALLEL_SPEEDUP_THRESHOLD,
     Regression,
     Threshold,
     check_regression,
     check_thresholds,
+    parallel_speedup_threshold,
 )
 from .report import (
     SCHEMA_VERSION,
@@ -27,6 +29,7 @@ from .timers import Measurement, WallTimer, measure, measure_ab
 __all__ = [
     "ENGINE_SPEEDUP_THRESHOLD",
     "FASTFORWARD_SPEEDUP_THRESHOLD",
+    "PARALLEL_SPEEDUP_THRESHOLD",
     "Measurement",
     "PerfMetric",
     "PerfReport",
@@ -39,4 +42,5 @@ __all__ = [
     "diff_reports",
     "measure",
     "measure_ab",
+    "parallel_speedup_threshold",
 ]

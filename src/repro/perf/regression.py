@@ -15,6 +15,7 @@ Two comparison modes, matching how ``BENCH_PERF.json`` is used:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -53,6 +54,28 @@ ENGINE_SPEEDUP_THRESHOLD = Threshold("engine_events_per_sec", 2.0)
 #: same perfbench run, so the ratio *is* the fast-forward speedup).
 FASTFORWARD_SPEEDUP_THRESHOLD = Threshold(
     "simulated_requests_per_wall_second", 10.0)
+
+
+def parallel_speedup_threshold(cpus: Optional[int] = None) -> Threshold:
+    """The host-aware floor on parallel-over-serial cluster speedup.
+
+    The epoch-parallel runner's baseline is the serial session on the
+    same fleet, measured in the same perfbench run, so the ratio *is*
+    the parallel speedup.  On a multi-core host the fork pool must buy a
+    real win: ≥ 1.5x.  A single-core host cannot execute shards
+    concurrently, but the parallel path must still beat serial outright
+    (≥ 1.1x): per-shard event heaps are smaller and adaptive epochs run
+    whole fault-free scenarios in one burst.
+    """
+    usable = cpus if cpus is not None else (os.cpu_count() or 1)
+    return Threshold("cluster_parallel_requests_per_sec",
+                     1.5 if usable >= 2 else 1.1)
+
+
+#: The floor on the current host (import-time convenience; call
+#: :func:`parallel_speedup_threshold` to evaluate for a specific CPU
+#: count).
+PARALLEL_SPEEDUP_THRESHOLD = parallel_speedup_threshold()
 
 
 def check_thresholds(report: PerfReport,

@@ -30,6 +30,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..baseline.storage_stack import HostStorageStack
 
 
+#: Resolved hardware templates keyed by ``config.config_hash()``.
+#: :class:`~repro.hw.spec.HardwareSpec` is a frozen dataclass tree, so
+#: one resolved template is safely shared by every substrate built from
+#: an equivalent config.  The payoff is in long-lived worker processes
+#: (the orchestrator's persistent pool, the epoch-parallel cluster
+#: workers): a sweep builds thousands of substrates from a handful of
+#: distinct configs, and resolution work is paid once per distinct
+#: config per process instead of once per substrate.
+_TEMPLATE_CACHE: dict = {}
+
+
+def cached_effective_spec(config: PlatformConfig) -> HardwareSpec:
+    """``config.effective_spec()``, memoized by the config's stable hash."""
+    key = config.config_hash()
+    spec = _TEMPLATE_CACHE.get(key)
+    if spec is None:
+        spec = config.effective_spec()
+        _TEMPLATE_CACHE[key] = spec
+    return spec
+
+
+def clear_template_cache() -> None:
+    """Drop every cached hardware template (tests, memory pressure)."""
+    _TEMPLATE_CACHE.clear()
+
+
 @dataclass
 class HardwareSubstrate:
     """The assembled hardware platform one system runs on.
@@ -70,7 +96,7 @@ class PlatformBuilder:
     # Common parts                                                         #
     # ------------------------------------------------------------------ #
     def _common(self, reserve_management_cores: bool):
-        spec = self.config.effective_spec()
+        spec = cached_effective_spec(self.config)
         energy = EnergyAccountant()
         monitor = (PowerMonitor(self.env)
                    if self.config.track_power_series else None)

@@ -585,6 +585,25 @@ class Environment:
                         event.callbacks = callbacks
                         event_pool.append(event)
             return
+        self.run_events(until)
+        self._now = until
+
+    def run_events(self, until: float) -> None:
+        """Process every event with ``time <= until``; keep the clock put.
+
+        Same bounded loop as :meth:`run`, minus the final jump of the
+        clock to ``until`` — after the last qualifying event the clock
+        reads that event's time.  The epoch-parallel cluster runner uses
+        this at epoch boundaries so a shard that goes idle before the
+        boundary keeps the same clock reading the serial session would
+        have (the serial drain stops at the last settlement event), which
+        is what makes the two makespans byte-identical.
+        """
+        queue = self._queue
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        pop = _heappop
+        refcount = getrefcount
         while queue:
             if queue[0][0] > until:
                 break
@@ -618,4 +637,3 @@ class Environment:
                     callbacks.clear()
                     event.callbacks = callbacks
                     event_pool.append(event)
-        self._now = until

@@ -316,3 +316,79 @@ def test_cache_files_record_experiment_metadata(tmp_path):
     assert payload["workload"] == {"kind": "homogeneous", "name": "ATAX"}
     assert payload["config"]["system"] == "IntraO3"
     assert payload["key"] == list(spec.key)
+
+
+# --------------------------------------------------------------------------- #
+# Orchestrator: persistent worker pool                                         #
+# --------------------------------------------------------------------------- #
+def test_persistent_pool_survives_across_runs():
+    """A sweep's many run() batches share one pool launch."""
+    with ExperimentOrchestrator(workers=2) as orch:
+        orch.run([_spec(system=s) for s in ("SIMD", "InterSt")])
+        assert orch.pool_launches == 1
+        orch.run([_spec(system=s) for s in ("InterDy", "IntraO3")])
+        assert orch.pool_launches == 1          # reused, not relaunched
+        assert orch.simulations_run == 4
+    assert orch._pool is None                   # context exit closed it
+
+
+def test_persistent_pool_matches_fresh_pool_and_serial_results():
+    """Worker reuse must not leak state between batches: the reports from
+    a reused pool, a pool-per-run orchestrator and the serial path are
+    identical."""
+    systems = ("SIMD", "InterSt", "InterDy", "IntraO3")
+    make = lambda: [_spec(system=s) for s in systems]  # noqa: E731
+
+    serial = ExperimentOrchestrator(workers=1).run(make())
+    with ExperimentOrchestrator(workers=2) as persistent_orch:
+        # Two batches through the same warm pool: any state carried over
+        # from batch one would corrupt batch two.
+        first = persistent_orch.run(make()[:2])
+        second = persistent_orch.run(make()[2:])
+        persistent = {**first, **second}
+    fresh_orch = ExperimentOrchestrator(workers=2, persistent_workers=False)
+    fresh = fresh_orch.run(make())
+
+    assert set(serial) == set(persistent) == set(fresh)
+    for key in serial:
+        assert serial[key].to_dict() == persistent[key].to_dict()
+        assert serial[key].to_dict() == fresh[key].to_dict()
+    assert fresh_orch.pool_launches == 0        # legacy path: no pool kept
+
+
+def test_close_is_idempotent_and_next_run_relaunches():
+    orch = ExperimentOrchestrator(workers=2)
+    orch.run([_spec(system=s) for s in ("SIMD", "InterSt")])
+    assert orch.pool_launches == 1
+    orch.close()
+    orch.close()                                # second close is a no-op
+    assert orch._pool is None
+    orch.run([_spec(system=s) for s in ("InterDy", "IntraO3")])
+    assert orch.pool_launches == 2              # fresh pool after close
+    orch.close()
+
+
+def test_broken_pool_is_torn_down_and_replaced():
+    """A map-machinery failure discards the pool instead of reusing it."""
+    orch = ExperimentOrchestrator(workers=2)
+    pool = orch._ensure_pool()
+
+    def exploding_map(*args, **kwargs):
+        raise RuntimeError("worker pipe collapsed")
+
+    pool.map = exploding_map
+    with pytest.raises(RuntimeError, match="worker pipe collapsed"):
+        orch.run([_spec(system=s) for s in ("SIMD", "InterSt")])
+    assert orch._pool is None                   # clean shutdown on failure
+    # The next run launches a replacement pool and completes normally.
+    results = orch.run([_spec(system=s) for s in ("SIMD", "InterSt")])
+    assert len(results) == 2
+    assert orch.pool_launches == 2
+    orch.close()
+
+
+def test_serial_orchestrator_never_launches_a_pool():
+    orch = ExperimentOrchestrator(workers=1)
+    orch.run([_spec(system=s) for s in ("SIMD", "IntraO3")])
+    assert orch.pool_launches == 0
+    assert orch._pool is None

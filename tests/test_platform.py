@@ -238,3 +238,58 @@ def test_config_driven_runs_match_legacy_wrappers():
     configured = run_system(PlatformConfig(system="IntraO3"), kernels2,
                             workload_name="BICG")
     assert legacy.to_dict() == configured.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Hardware template cache                                                      #
+# --------------------------------------------------------------------------- #
+def test_template_cache_shares_one_resolved_spec_per_config():
+    from repro.platform.builder import (
+        cached_effective_spec,
+        clear_template_cache,
+    )
+
+    clear_template_cache()
+    try:
+        first = PlatformConfig(input_scale=SCALE)
+        twin = PlatformConfig(input_scale=SCALE)      # equal, distinct object
+        resolved = cached_effective_spec(first)
+        assert resolved == first.effective_spec()
+        # Equal configs hash alike and share the one frozen template.
+        assert cached_effective_spec(twin) is resolved
+        # A different config resolves its own template.
+        other = cached_effective_spec(PlatformConfig(system="SIMD",
+                                                     input_scale=SCALE))
+        assert other is not resolved
+    finally:
+        clear_template_cache()
+
+
+def test_template_cache_invalidation():
+    from repro.platform import builder
+
+    builder.clear_template_cache()
+    try:
+        config = PlatformConfig(input_scale=SCALE)
+        builder.cached_effective_spec(config)
+        assert config.config_hash() in builder._TEMPLATE_CACHE
+        builder.clear_template_cache()
+        assert not builder._TEMPLATE_CACHE
+        # A post-invalidation lookup re-resolves rather than failing.
+        assert builder.cached_effective_spec(config) \
+            == config.effective_spec()
+    finally:
+        builder.clear_template_cache()
+
+
+def test_builder_uses_cached_template():
+    """Two substrates from equal configs share the frozen spec object."""
+    from repro.platform.builder import clear_template_cache
+
+    clear_template_cache()
+    try:
+        one = PlatformBuilder(PlatformConfig(input_scale=SCALE)).build()
+        two = PlatformBuilder(PlatformConfig(input_scale=SCALE)).build()
+        assert one.spec is two.spec
+    finally:
+        clear_template_cache()
